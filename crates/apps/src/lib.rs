@@ -1,0 +1,18 @@
+//! # vcabench-apps
+//!
+//! Competing-application models for the §5 experiments: an iPerf3-style bulk
+//! TCP flow, the Netflix multi-connection ABR client, and the YouTube
+//! QUIC ABR client, plus the generic TCP endpoint agents they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abr;
+pub mod netflix;
+pub mod tcp_agents;
+pub mod youtube;
+
+pub use abr::{pick_level, AbrServer, ThroughputEstimator, DEFAULT_LEVELS};
+pub use netflix::{NetflixClient, NetflixSample};
+pub use tcp_agents::{TcpSenderAgent, TcpSinkAgent};
+pub use youtube::YoutubeClient;

@@ -1,0 +1,146 @@
+//! Criterion benchmarks, one group per table/figure of the paper.
+//!
+//! Each bench regenerates the corresponding experiment on a reduced preset
+//! and reports the wall-clock cost of the full simulation pipeline. Run
+//! `cargo bench -p vcabench-bench` (or `cargo bench --workspace`).
+//!
+//! These are throughput benchmarks of the *reproduction pipeline*; the
+//! experiment outputs themselves (paper-vs-measured) are produced by the
+//! `repro` binary and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcabench_harness::experiments::*;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("unconstrained_utilization", |b| {
+        b.iter(|| table2::run(&table2::Table2Config::quick()))
+    });
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    let cfg = fig1::Fig1Config {
+        caps: vec![0.5, 1.0, 10.0],
+        call: vcabench_simcore::SimDuration::from_secs(60),
+        reps: 1,
+        seed: 11,
+    };
+    g.bench_function("uplink_sweep", |b| {
+        b.iter(|| fig1::run_sweep(&cfg, &vcabench_vca::VcaKind::NATIVE, fig1::Direction::Up))
+    });
+    g.bench_function("downlink_sweep", |b| {
+        b.iter(|| fig1::run_sweep(&cfg, &vcabench_vca::VcaKind::NATIVE, fig1::Direction::Down))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    let cfg = fig2::Fig2Config {
+        caps: vec![0.5, 1.0],
+        call: vcabench_simcore::SimDuration::from_secs(60),
+        reps: 1,
+        seed: 21,
+    };
+    g.bench_function("encoding_parameters", |b| {
+        b.iter(|| fig2::run_direction(&cfg, fig1::Direction::Down))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    let cfg = fig3::Fig3Config {
+        caps: vec![0.3, 1.0],
+        call: vcabench_simcore::SimDuration::from_secs(60),
+        reps: 1,
+        seed: 31,
+    };
+    g.bench_function("freeze_and_fir", |b| b.iter(|| fig3::run(&cfg)));
+    g.finish();
+}
+
+fn bench_fig4_5_6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_5_6");
+    g.sample_size(10);
+    let cfg = fig4_5_6::DisruptionConfig {
+        levels: vec![0.25],
+        call: vcabench_simcore::SimDuration::from_secs(150),
+        start: vcabench_simcore::SimDuration::from_secs(40),
+        length: vcabench_simcore::SimDuration::from_secs(30),
+        reps: 1,
+        seed: 41,
+    };
+    g.bench_function("uplink_disruption", |b| {
+        b.iter(|| fig4_5_6::run_direction(&cfg, fig1::Direction::Up))
+    });
+    g.bench_function("downlink_disruption", |b| {
+        b.iter(|| fig4_5_6::run_direction(&cfg, fig1::Direction::Down))
+    });
+    g.finish();
+}
+
+fn bench_fig8_to_11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_to_11");
+    g.sample_size(10);
+    g.bench_function("vca_vs_vca_timeline", |b| {
+        b.iter(|| {
+            fig8_to_11::run_timeline(
+                vcabench_vca::VcaKind::Zoom,
+                vcabench_vca::VcaKind::Meet,
+                0.5,
+                81,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12_13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_13");
+    g.sample_size(10);
+    g.bench_function("zoom_vs_iperf", |b| b.iter(|| fig12_13::run_fig13(131)));
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("zoom_vs_netflix", |b| {
+        b.iter(|| fig14::run(&fig14::Fig14Config::quick()))
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    let cfg = fig15::Fig15Config {
+        sizes: vec![4, 8],
+        call: vcabench_simcore::SimDuration::from_secs(40),
+        reps: 1,
+        seed: 151,
+    };
+    g.bench_function("modalities", |b| b.iter(|| fig15::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4_5_6,
+    bench_fig8_to_11,
+    bench_fig12_13,
+    bench_fig14,
+    bench_fig15,
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the substrate components (ablation-style): the event
+//! engine, the packet link, the congestion controllers, and TCP.
+//!
+//! These establish that the simulator itself is not the bottleneck of the
+//! experiment pipeline, and give per-component regression baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vcabench_harness::run::{run_two_party, TwoPartyOutcome};
+use vcabench_netsim::RateProfile;
+use vcabench_simcore::{SimDuration, SimTime};
+
+fn bench_two_party_minute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(10);
+    for kind in vcabench_vca::VcaKind::NATIVE {
+        g.bench_function(format!("one_minute_call_{}", kind.name()), |b| {
+            b.iter(|| {
+                run_two_party(
+                    kind,
+                    RateProfile::constant_mbps(1000.0),
+                    RateProfile::constant_mbps(1000.0),
+                    SimDuration::from_secs(60),
+                    1,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    use vcabench_congestion::*;
+    let mut g = c.benchmark_group("controllers");
+    g.bench_function("gcc_10k_reports", |b| {
+        b.iter_batched(
+            || {
+                (
+                    GccController::new(GccConfig::default()),
+                    SyntheticLink::new(1.0),
+                )
+            },
+            |(mut cc, mut link)| {
+                for i in 0..10_000u64 {
+                    let fb = link.step(
+                        SimTime::from_millis(i * 100),
+                        cc.target_mbps(),
+                        SimDuration::from_millis(100),
+                    );
+                    cc.on_report(&fb);
+                }
+                cc.target_mbps()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fbra_10k_reports", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FbraController::new(FbraConfig::default()),
+                    SyntheticLink::new(1.0),
+                )
+            },
+            |(mut cc, mut link)| {
+                for i in 0..10_000u64 {
+                    let fb = link.step(
+                        SimTime::from_millis(i * 100),
+                        cc.target_mbps(),
+                        SimDuration::from_millis(100),
+                    );
+                    cc.on_report(&fb);
+                }
+                cc.target_mbps()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    // A full 5-minute series at 100 ms bins.
+    let series: Vec<f64> = (0..3000).map(|i| 1.0 + 0.1 * ((i % 7) as f64)).collect();
+    g.bench_function("rolling_median_ttr", |b| {
+        b.iter(|| {
+            vcabench_stats::time_to_recovery(
+                &series,
+                SimDuration::from_millis(100),
+                SimTime::from_secs(60),
+                SimTime::from_secs(90),
+            )
+        })
+    });
+    g.bench_function("rate_between", |b| {
+        b.iter(|| {
+            TwoPartyOutcome::rate_between(&series, SimTime::from_secs(10), SimTime::from_secs(290))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_two_party_minute,
+    bench_controllers,
+    bench_metric
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # vcabench-bench
+//!
+//! Criterion benchmark crate: `benches/experiments.rs` regenerates each of
+//! the paper's tables and figures (reduced presets) as a benchmark target;
+//! `benches/substrates.rs` micro-benchmarks the engine, controllers, and
+//! metrics. Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

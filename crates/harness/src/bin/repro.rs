@@ -1,0 +1,257 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--quick] [--json <path>]
+//!
+//! experiments:
+//!   table2   unconstrained utilization
+//!   fig1     static shaping sweeps (a: uplink, b: downlink, c: browser/native)
+//!   fig2     encoding parameters vs capacity (Meet, Teams-Chrome)
+//!   fig3     freeze ratio and FIR counts
+//!   fig4     uplink disruptions (timelines + TTR)      [also runs fig5, fig6]
+//!   fig8     VCA vs VCA shares (also fig10)
+//!   fig9     VCA vs VCA timelines (Zoom-Zoom, Meet-Meet @0.5; fig11 @1.0)
+//!   fig12    VCA vs TCP (iPerf3)                       [also runs fig13]
+//!   fig14    Zoom vs Netflix
+//!   fig15    call modalities
+//!   all      everything above
+//! ```
+//!
+//! `--quick` uses reduced presets (coarser sweeps, fewer repetitions);
+//! `--json <path>` additionally writes machine-readable results.
+
+use std::io::Write;
+
+use vcabench_harness::experiments::*;
+use vcabench_vca::VcaKind;
+
+struct Args {
+    experiment: String,
+    quick: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = String::from("all");
+    let mut quick = false;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = it.next(),
+            "--help" | "-h" => {
+                println!("usage: repro <table2|fig1|fig2|fig3|fig4|fig8|fig9|fig12|fig14|fig15|ext|all> [--quick] [--json <path>]");
+                std::process::exit(0);
+            }
+            other => experiment = other.to_string(),
+        }
+    }
+    Args {
+        experiment,
+        quick,
+        json,
+    }
+}
+
+fn emit_json(
+    json: &mut Option<serde_json::Map<String, serde_json::Value>>,
+    key: &str,
+    v: impl serde::Serialize,
+) {
+    if let Some(map) = json.as_mut() {
+        map.insert(
+            key.to_string(),
+            serde_json::to_value(v).expect("serializable result"),
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut json_out = args.json.as_ref().map(|_| serde_json::Map::new());
+    let all = args.experiment == "all";
+    let want = |name: &str| all || args.experiment == name;
+    let mut matched = false;
+
+    if want("table2") {
+        matched = true;
+        let cfg = if args.quick {
+            table2::Table2Config::quick()
+        } else {
+            table2::Table2Config::default()
+        };
+        let r = table2::run(&cfg);
+        table2::print(&r);
+        emit_json(&mut json_out, "table2", &r);
+        println!();
+    }
+    if want("fig1") {
+        matched = true;
+        let cfg = if args.quick {
+            fig1::Fig1Config::quick()
+        } else {
+            fig1::Fig1Config::default()
+        };
+        let r = fig1::run(&cfg);
+        fig1::print(&r);
+        emit_json(&mut json_out, "fig1", &r);
+        println!();
+    }
+    if want("fig2") {
+        matched = true;
+        let cfg = if args.quick {
+            fig2::Fig2Config::quick()
+        } else {
+            fig2::Fig2Config::default()
+        };
+        let r = fig2::run(&cfg);
+        fig2::print(&r);
+        emit_json(&mut json_out, "fig2", &r);
+        println!();
+    }
+    if want("fig3") {
+        matched = true;
+        let cfg = if args.quick {
+            fig3::Fig3Config::quick()
+        } else {
+            fig3::Fig3Config::default()
+        };
+        let r = fig3::run(&cfg);
+        fig3::print(&r);
+        emit_json(&mut json_out, "fig3", &r);
+        println!();
+    }
+    if want("fig4") || want("fig5") || want("fig6") {
+        matched = true;
+        let cfg = if args.quick {
+            fig4_5_6::DisruptionConfig::quick()
+        } else {
+            fig4_5_6::DisruptionConfig::default()
+        };
+        let r = fig4_5_6::run(&cfg);
+        fig4_5_6::print(&r);
+        emit_json(&mut json_out, "fig4_5_6", &r);
+        println!();
+    }
+    if want("fig8") || want("fig10") {
+        matched = true;
+        let cfg = if args.quick {
+            fig8_to_11::VcaCompetitionConfig::quick()
+        } else {
+            fig8_to_11::VcaCompetitionConfig::default()
+        };
+        let r = fig8_to_11::run(&cfg);
+        fig8_to_11::print(&r);
+        emit_json(&mut json_out, "fig8_10", &r);
+        println!();
+    }
+    if want("fig9") || want("fig11") {
+        matched = true;
+        println!("Fig 9/11: single-run competition timelines (summaries)");
+        for (a, b, cap, label) in [
+            (VcaKind::Zoom, VcaKind::Zoom, 0.5, "fig9a Zoom-Zoom @0.5"),
+            (VcaKind::Meet, VcaKind::Meet, 0.5, "fig9b Meet-Meet @0.5"),
+            (VcaKind::Teams, VcaKind::Zoom, 1.0, "fig11 Teams-Zoom @1.0"),
+        ] {
+            let t = fig8_to_11::run_timeline(a, b, cap, 91);
+            let from = vcabench_simcore::SimTime::from_secs(90);
+            let to = vcabench_simcore::SimTime::from_secs(150);
+            let iu = vcabench_harness::TwoPartyOutcome::rate_between(&t.inc_up, from, to);
+            let cu = vcabench_harness::TwoPartyOutcome::rate_between(&t.comp_up, from, to);
+            let id = vcabench_harness::TwoPartyOutcome::rate_between(&t.inc_down, from, to);
+            let cd = vcabench_harness::TwoPartyOutcome::rate_between(&t.comp_down, from, to);
+            println!("  {label}: up {iu:.2} vs {cu:.2} | down {id:.2} vs {cd:.2}");
+            print!(
+                "{}",
+                vcabench_harness::render::timeline("incumbent up", &t.inc_up, cap, Some(30.0), Some(150.0))
+            );
+            print!(
+                "{}",
+                vcabench_harness::render::timeline("competitor up", &t.comp_up, cap, Some(30.0), Some(150.0))
+            );
+            emit_json(&mut json_out, label, &t);
+        }
+        println!();
+    }
+    if want("fig12") || want("fig13") {
+        matched = true;
+        let cfg = if args.quick {
+            fig12_13::TcpCompetitionConfig::quick()
+        } else {
+            fig12_13::TcpCompetitionConfig::default()
+        };
+        let r = fig12_13::run(&cfg);
+        fig12_13::print(&r);
+        let f13 = fig12_13::run_fig13(131);
+        println!(
+            "Fig 13: Zoom probe burst vs iPerf3 at 2 Mbps: burst at {:?} s",
+            f13.burst_at_secs
+        );
+        print!(
+            "{}",
+            vcabench_harness::render::timeline("Zoom downlink", &f13.zoom, 1.6, Some(30.0), Some(150.0))
+        );
+        print!(
+            "{}",
+            vcabench_harness::render::timeline("iPerf3 downlink", &f13.iperf, 1.6, Some(30.0), Some(150.0))
+        );
+        emit_json(&mut json_out, "fig12", &r);
+        emit_json(&mut json_out, "fig13", &f13);
+        println!();
+    }
+    if want("fig14") {
+        matched = true;
+        let cfg = if args.quick {
+            fig14::Fig14Config::quick()
+        } else {
+            fig14::Fig14Config::default()
+        };
+        let r = fig14::run(&cfg);
+        fig14::print(&r);
+        emit_json(&mut json_out, "fig14", &r);
+        println!();
+    }
+    if want("ext") {
+        matched = true;
+        let cfg = if args.quick {
+            ext::ImpairmentsConfig::quick()
+        } else {
+            ext::ImpairmentsConfig::default()
+        };
+        let r = ext::impairments::run(&cfg);
+        ext::impairments::print(&r);
+        emit_json(&mut json_out, "ext_impairments", &r);
+        let a = ext::ablation::run(3);
+        ext::ablation::print(&a);
+        emit_json(&mut json_out, "ext_ablation", &a);
+        println!();
+    }
+    if want("fig15") {
+        matched = true;
+        let cfg = if args.quick {
+            fig15::Fig15Config::quick()
+        } else {
+            fig15::Fig15Config::default()
+        };
+        let r = fig15::run(&cfg);
+        fig15::print(&r);
+        emit_json(&mut json_out, "fig15", &r);
+        println!();
+    }
+
+    if !matched {
+        eprintln!("unknown experiment '{}'; try --help", args.experiment);
+        std::process::exit(2);
+    }
+    if let (Some(path), Some(map)) = (args.json, json_out) {
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(
+            serde_json::to_string_pretty(&serde_json::Value::Object(map))
+                .expect("serialize")
+                .as_bytes(),
+        )
+        .expect("write json output");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,403 @@
+//! **Extension experiments** — the paper's §8 future-work directions,
+//! implemented on the same substrate:
+//!
+//! * [`impairments`]: "Other network factors such as latency, packet loss,
+//!   and jitter could affect VCA performance and utilization. Future work
+//!   could explore the effects of these parameters." — utilization sweeps
+//!   over added path latency and random loss.
+//! * [`ablation`]: §3.2 suspects the Teams frame-width reversal at 0.3 Mbps
+//!   is "a poor design decision or implementation bug" that causes its FIR
+//!   storm. The model can run the counterfactual the paper could not:
+//!   the same client with the bug disabled.
+
+use serde::Serialize;
+use vcabench_netsim::{topology, LinkConfig, Network, RateProfile};
+use vcabench_simcore::{SimDuration, SimRng, SimTime};
+use vcabench_transport::Wire;
+use vcabench_vca::{wire_call, VcaClient, VcaKind, ViewMode};
+
+/// Build a two-party call whose C1 access link carries extra one-way delay
+/// and periodic loss, run it, and return (uplink Mbps, frames decoded by C2,
+/// C2-side freeze seconds).
+fn impaired_two_party(
+    kind: VcaKind,
+    up_mbps: f64,
+    extra_delay: SimDuration,
+    loss_rate: f64,
+    jitter: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> (f64, u64, f64) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut net: Network<Wire> = Network::new();
+    let c1 = net.add_node();
+    let router = net.add_node();
+    let server = net.add_node();
+    let c2 = net.add_node();
+
+    let access_delay = topology::ACCESS_DELAY + extra_delay;
+    let shaped_up = LinkConfig::mbps(up_mbps, access_delay)
+        .with_queue_bytes(topology::ACCESS_QUEUE_BYTES)
+        .with_loss_rate(loss_rate)
+        .with_jitter(jitter);
+    let shaped_down = LinkConfig::mbps(1000.0, access_delay)
+        .with_queue_bytes(topology::ACCESS_QUEUE_BYTES)
+        .with_loss_rate(loss_rate)
+        .with_jitter(jitter);
+    let fast = LinkConfig::mbps(1000.0, topology::WAN_DELAY).with_queue_bytes(1 << 20);
+
+    let c1_up = net.add_link(c1, router, shaped_up);
+    let c1_down = net.add_link(router, c1, shaped_down);
+    let wan_up = net.add_link(router, server, fast.clone());
+    let wan_down = net.add_link(server, router, fast.clone());
+    let c2_up = net.add_link(c2, server, fast.clone());
+    let c2_down = net.add_link(server, c2, fast);
+    net.default_route(c1, c1_up);
+    net.default_route(router, wan_up);
+    net.route(router, c1, c1_down);
+    net.default_route(c2, c2_up);
+    net.route(server, c1, wan_down);
+    net.route(server, c2, c2_down);
+
+    wire_call(
+        &mut net,
+        kind,
+        server,
+        &[c1, c2],
+        &[ViewMode::Gallery, ViewMode::Gallery],
+        10,
+        &mut rng,
+    );
+    let end = SimTime::ZERO + duration;
+    net.run_until(end);
+    let up = net
+        .link(c1_up)
+        .traces
+        .total()
+        .rate_mbps_between(SimTime::ZERO + duration / 4, end);
+    let c2_agent: &VcaClient = net.agent(c2);
+    let frames = c2_agent.frames_decoded_from(0);
+    let freeze = c2_agent
+        .primary_freeze()
+        .map(|f| f.freeze_time.as_secs_f64())
+        .unwrap_or(0.0);
+    (up, frames, freeze)
+}
+
+/// One impairment point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ImpairmentPoint {
+    /// VCA name.
+    pub vca: String,
+    /// Extra one-way path delay, ms.
+    pub extra_delay_ms: u64,
+    /// Random loss rate on the access path.
+    pub loss_rate: f64,
+    /// Jitter amplitude, ms.
+    pub jitter_ms: u64,
+    /// C1 uplink utilization, Mbps.
+    pub up_mbps: f64,
+    /// Frames C2 decoded from C1.
+    pub frames: u64,
+    /// C2-side freeze time, seconds.
+    pub freeze_secs: f64,
+}
+
+/// Impairment study result.
+#[derive(Debug, Clone, Serialize)]
+pub struct ImpairmentsResult {
+    /// Latency sweep (loss = 0).
+    pub latency: Vec<ImpairmentPoint>,
+    /// Loss sweep (extra delay = 0).
+    pub loss: Vec<ImpairmentPoint>,
+    /// Jitter sweep (loss = 0, extra delay = 0).
+    pub jitter: Vec<ImpairmentPoint>,
+}
+
+/// Parameters for the impairment sweeps.
+#[derive(Debug, Clone)]
+pub struct ImpairmentsConfig {
+    /// Extra one-way delays to test, ms.
+    pub delays_ms: Vec<u64>,
+    /// Loss rates to test.
+    pub loss_rates: Vec<f64>,
+    /// Jitter amplitudes to test, ms.
+    pub jitters_ms: Vec<u64>,
+    /// Call length.
+    pub call: SimDuration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ImpairmentsConfig {
+    fn default() -> Self {
+        ImpairmentsConfig {
+            delays_ms: vec![0, 25, 50, 100, 200],
+            loss_rates: vec![0.0, 0.005, 0.01, 0.02, 0.05],
+            jitters_ms: vec![0, 10, 30, 60],
+            call: SimDuration::from_secs(90),
+            seed: 400,
+        }
+    }
+}
+
+impl ImpairmentsConfig {
+    /// Reduced preset.
+    pub fn quick() -> Self {
+        ImpairmentsConfig {
+            delays_ms: vec![0, 100],
+            loss_rates: vec![0.0, 0.02],
+            jitters_ms: vec![0, 30],
+            call: SimDuration::from_secs(60),
+            seed: 400,
+        }
+    }
+}
+
+/// The impairment experiments.
+pub mod impairments {
+    use super::*;
+
+    /// Run both sweeps on an open (10 Mbps) uplink so impairments, not
+    /// shaping, dominate.
+    pub fn run(cfg: &ImpairmentsConfig) -> ImpairmentsResult {
+        let mut latency = Vec::new();
+        let mut loss = Vec::new();
+        let mut jitter = Vec::new();
+        for kind in VcaKind::NATIVE {
+            for &d in &cfg.delays_ms {
+                let (up, frames, freeze) = impaired_two_party(
+                    kind,
+                    10.0,
+                    SimDuration::from_millis(d),
+                    0.0,
+                    SimDuration::ZERO,
+                    cfg.call,
+                    cfg.seed,
+                );
+                latency.push(ImpairmentPoint {
+                    vca: kind.name().into(),
+                    extra_delay_ms: d,
+                    loss_rate: 0.0,
+                    jitter_ms: 0,
+                    up_mbps: up,
+                    frames,
+                    freeze_secs: freeze,
+                });
+            }
+            for &p in &cfg.loss_rates {
+                let (up, frames, freeze) = impaired_two_party(
+                    kind,
+                    10.0,
+                    SimDuration::ZERO,
+                    p,
+                    SimDuration::ZERO,
+                    cfg.call,
+                    cfg.seed,
+                );
+                loss.push(ImpairmentPoint {
+                    vca: kind.name().into(),
+                    extra_delay_ms: 0,
+                    loss_rate: p,
+                    jitter_ms: 0,
+                    up_mbps: up,
+                    frames,
+                    freeze_secs: freeze,
+                });
+            }
+            for &j in &cfg.jitters_ms {
+                let (up, frames, freeze) = impaired_two_party(
+                    kind,
+                    10.0,
+                    SimDuration::ZERO,
+                    0.0,
+                    SimDuration::from_millis(j),
+                    cfg.call,
+                    cfg.seed,
+                );
+                jitter.push(ImpairmentPoint {
+                    vca: kind.name().into(),
+                    extra_delay_ms: 0,
+                    loss_rate: 0.0,
+                    jitter_ms: j,
+                    up_mbps: up,
+                    frames,
+                    freeze_secs: freeze,
+                });
+            }
+        }
+        ImpairmentsResult {
+            latency,
+            loss,
+            jitter,
+        }
+    }
+
+    /// Render.
+    pub fn print(r: &ImpairmentsResult) {
+        println!("Extension: utilization under added path latency (uplink Mbps)");
+        println!(
+            "{:>8} {:>10} {:>10} {:>12}",
+            "VCA", "delay ms", "up Mbps", "freeze s"
+        );
+        for p in &r.latency {
+            println!(
+                "{:>8} {:>10} {:>10.2} {:>12.1}",
+                p.vca, p.extra_delay_ms, p.up_mbps, p.freeze_secs
+            );
+        }
+        println!("Extension: utilization under random loss");
+        println!(
+            "{:>8} {:>10} {:>10} {:>12}",
+            "VCA", "loss", "up Mbps", "freeze s"
+        );
+        for p in &r.loss {
+            println!(
+                "{:>8} {:>9.1}% {:>10.2} {:>12.1}",
+                p.vca,
+                p.loss_rate * 100.0,
+                p.up_mbps,
+                p.freeze_secs
+            );
+        }
+        println!("Extension: utilization under jitter");
+        println!(
+            "{:>8} {:>10} {:>10} {:>12}",
+            "VCA", "jitter ms", "up Mbps", "freeze s"
+        );
+        for p in &r.jitter {
+            println!(
+                "{:>8} {:>10} {:>10.2} {:>12.1}",
+                p.vca, p.jitter_ms, p.up_mbps, p.freeze_secs
+            );
+        }
+    }
+}
+
+/// The Teams width-bug ablation.
+pub mod ablation {
+    use super::*;
+    use crate::run::run_two_party_with;
+
+    /// Result of the counterfactual.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct AblationResult {
+        /// FIRs the constrained sender received with the bug enabled.
+        pub firs_with_bug: u64,
+        /// FIRs with the bug disabled.
+        pub firs_without_bug: u64,
+        /// Mean sent frame width with the bug.
+        pub width_with_bug: f64,
+        /// Mean sent frame width without.
+        pub width_without_bug: f64,
+    }
+
+    /// Run Teams-Chrome at a starved 0.3 Mbps uplink, with and without the
+    /// emulated width bug.
+    pub fn run(seed: u64) -> AblationResult {
+        let call = SimDuration::from_secs(120);
+        let shape = RateProfile::constant_mbps(0.3);
+        let open = RateProfile::constant_mbps(1000.0);
+        let with_bug = run_two_party_with(
+            VcaKind::TeamsChrome,
+            shape.clone(),
+            open.clone(),
+            call,
+            seed,
+            |_| {},
+        );
+        let without_bug = run_two_party_with(VcaKind::TeamsChrome, shape, open, call, seed, |c| {
+            c.set_teams_width_bug(false)
+        });
+        let mean_width = |stats: &[vcabench_vca::StatsSample]| {
+            let xs: Vec<f64> = stats
+                .iter()
+                .skip(stats.len() / 3)
+                .map(|s| s.send_width as f64)
+                .collect();
+            vcabench_stats::mean(&xs)
+        };
+        AblationResult {
+            firs_with_bug: with_bug.c1_firs_received,
+            firs_without_bug: without_bug.c1_firs_received,
+            width_with_bug: mean_width(&with_bug.c1_stats),
+            width_without_bug: mean_width(&without_bug.c1_stats),
+        }
+    }
+
+    /// Render.
+    pub fn print(r: &AblationResult) {
+        println!("Extension: Teams width-bug ablation at 0.3 Mbps uplink");
+        println!(
+            "  with bug:    width {:>5.0} px, {:>3} FIRs",
+            r.width_with_bug, r.firs_with_bug
+        );
+        println!(
+            "  without bug: width {:>5.0} px, {:>3} FIRs",
+            r.width_without_bug, r.firs_without_bug
+        );
+        println!("  (the paper hypothesized the width reversal causes the Fig 3b FIR storm)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_hurts_delay_based_meet_least_at_moderate_values() {
+        let cfg = ImpairmentsConfig::quick();
+        let r = impairments::run(&cfg);
+        // Everyone keeps working at +100 ms (VCAs tolerate latency).
+        for p in &r.latency {
+            if p.extra_delay_ms == 100 {
+                assert!(
+                    p.up_mbps > 0.25,
+                    "{} collapsed at 100 ms: {}",
+                    p.vca,
+                    p.up_mbps
+                );
+                assert!(p.frames > 500, "{} stopped decoding: {}", p.vca, p.frames);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_hits_teams_hardest() {
+        let cfg = ImpairmentsConfig::quick();
+        let r = impairments::run(&cfg);
+        let rate = |vca: &str, p: f64| {
+            r.loss
+                .iter()
+                .find(|x| x.vca == vca && (x.loss_rate - p).abs() < 1e-9)
+                .unwrap()
+                .up_mbps
+        };
+        // Teams' hair-trigger backoff collapses under 2% random loss; Zoom's
+        // FEC tolerance keeps it near nominal.
+        let teams_drop = rate("Teams", 0.02) / rate("Teams", 0.0);
+        let zoom_drop = rate("Zoom", 0.02) / rate("Zoom", 0.0);
+        assert!(
+            teams_drop < zoom_drop,
+            "Teams should lose proportionally more: {teams_drop} vs {zoom_drop}"
+        );
+        assert!(zoom_drop > 0.8, "Zoom rides out 2% loss: {zoom_drop}");
+    }
+
+    #[test]
+    fn disabling_the_bug_reduces_firs() {
+        let r = ablation::run(3);
+        assert!(
+            r.width_with_bug > r.width_without_bug,
+            "bug raises width: {} vs {}",
+            r.width_with_bug,
+            r.width_without_bug
+        );
+        assert!(
+            r.firs_with_bug > r.firs_without_bug,
+            "bug causes the FIR storm: {} vs {}",
+            r.firs_with_bug,
+            r.firs_without_bug
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! **Figures 12 and 13** — VCA vs. a long TCP flow (§5.2).
+//!
+//! iPerf3 (TCP CUBIC) competes with each VCA on a 2 Mbps symmetric link
+//! (Fig 12); Fig 13 shows Zoom's spontaneous probe burst knocking iPerf3
+//! down mid-experiment.
+//!
+//! Headline shapes: Teams is extremely passive (≤37 % uplink, ≤20 %
+//! downlink even at 2 Mbps); Meet and Zoom reach their nominal rates and
+//! leave the rest to TCP; at low capacities Zoom takes ≥75 %.
+
+use serde::Serialize;
+use vcabench_simcore::SimTime;
+use vcabench_vca::VcaKind;
+
+use crate::run::{run_competition, CompetitionConfig, Competitor, TwoPartyOutcome};
+
+/// Parameters of the TCP-competition study.
+#[derive(Debug, Clone)]
+pub struct TcpCompetitionConfig {
+    /// Bottleneck capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Repetitions (paper: 3).
+    pub reps: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for TcpCompetitionConfig {
+    fn default() -> Self {
+        TcpCompetitionConfig {
+            capacity_mbps: 2.0,
+            reps: 3,
+            seed: 121,
+        }
+    }
+}
+
+impl TcpCompetitionConfig {
+    /// Reduced preset.
+    pub fn quick() -> Self {
+        TcpCompetitionConfig {
+            capacity_mbps: 2.0,
+            reps: 1,
+            seed: 121,
+        }
+    }
+}
+
+/// One (vca, direction) row of Fig 12.
+#[derive(Debug, Clone, Serialize)]
+pub struct TcpShareRow {
+    /// VCA name.
+    pub vca: String,
+    /// VCA uplink rate vs iPerf uplink rate, Mbps (upload competition).
+    pub up_vca_mbps: f64,
+    /// iPerf rate in the upload run.
+    pub up_iperf_mbps: f64,
+    /// VCA downlink rate in the download run.
+    pub down_vca_mbps: f64,
+    /// iPerf rate in the download run.
+    pub down_iperf_mbps: f64,
+}
+
+/// Fig 12 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Result {
+    /// Capacity used.
+    pub capacity_mbps: f64,
+    /// One row per VCA.
+    pub rows: Vec<TcpShareRow>,
+}
+
+impl Fig12Result {
+    /// Look up a row.
+    pub fn row(&self, vca: &str) -> Option<&TcpShareRow> {
+        self.rows.iter().find(|r| r.vca == vca)
+    }
+}
+
+/// Run Fig 12.
+pub fn run(cfg: &TcpCompetitionConfig) -> Fig12Result {
+    let mut rows = Vec::new();
+    for kind in VcaKind::NATIVE {
+        let mut uv = Vec::new();
+        let mut ui = Vec::new();
+        let mut dv = Vec::new();
+        let mut di = Vec::new();
+        for rep in 0..cfg.reps {
+            for (competitor, vca_acc, iperf_acc) in [
+                (Competitor::IperfUp, &mut uv, &mut ui),
+                (Competitor::IperfDown, &mut dv, &mut di),
+            ] {
+                let ccfg =
+                    CompetitionConfig::paper(kind, competitor, cfg.capacity_mbps, cfg.seed + rep);
+                let out = run_competition(&ccfg);
+                let from = SimTime::ZERO + ccfg.competitor_start + ccfg.competitor_duration / 4;
+                let to = SimTime::ZERO + ccfg.competitor_start + ccfg.competitor_duration;
+                match competitor {
+                    Competitor::IperfUp => {
+                        vca_acc.push(TwoPartyOutcome::rate_between(&out.inc_up, from, to));
+                        iperf_acc.push(TwoPartyOutcome::rate_between(&out.comp_up, from, to));
+                    }
+                    _ => {
+                        vca_acc.push(TwoPartyOutcome::rate_between(&out.inc_down, from, to));
+                        iperf_acc.push(TwoPartyOutcome::rate_between(&out.comp_down, from, to));
+                    }
+                }
+            }
+        }
+        rows.push(TcpShareRow {
+            vca: kind.name().to_string(),
+            up_vca_mbps: vcabench_stats::mean(&uv),
+            up_iperf_mbps: vcabench_stats::mean(&ui),
+            down_vca_mbps: vcabench_stats::mean(&dv),
+            down_iperf_mbps: vcabench_stats::mean(&di),
+        });
+    }
+    Fig12Result {
+        capacity_mbps: cfg.capacity_mbps,
+        rows,
+    }
+}
+
+/// Fig 13 result: Zoom + iPerf downlink timelines showing the probe burst.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Result {
+    /// Zoom downlink Mbps per 100 ms bin.
+    pub zoom: Vec<f64>,
+    /// iPerf downlink Mbps per bin.
+    pub iperf: Vec<f64>,
+    /// When the burst peaked (seconds), if detected.
+    pub burst_at_secs: Option<f64>,
+}
+
+/// Run Fig 13 (Zoom vs a long TCP download at 2 Mbps).
+pub fn run_fig13(seed: u64) -> Fig13Result {
+    let ccfg = CompetitionConfig::paper(VcaKind::Zoom, Competitor::IperfDown, 2.0, seed);
+    let out = run_competition(&ccfg);
+    // Find the probe burst: zoom's downlink rising well above its nominal
+    // while the competitor runs.
+    let nominal = TwoPartyOutcome::rate_between(
+        &out.inc_down,
+        SimTime::from_secs(10),
+        SimTime::from_secs(28),
+    );
+    let comp_start = (ccfg.competitor_start.as_millis() / 100) as usize;
+    let comp_end = ((ccfg.competitor_start + ccfg.competitor_duration).as_millis() / 100) as usize;
+    let burst_at_secs = out
+        .inc_down
+        .iter()
+        .enumerate()
+        .skip(comp_start + 100)
+        .take(comp_end.saturating_sub(comp_start + 100))
+        .find(|(_, &v)| v > nominal * 1.15)
+        .map(|(i, _)| i as f64 * 0.1);
+    Fig13Result {
+        zoom: out.inc_down,
+        iperf: out.comp_down,
+        burst_at_secs,
+    }
+}
+
+/// Render Fig 12.
+pub fn print(result: &Fig12Result) {
+    println!(
+        "Fig 12: link sharing with a long TCP (CUBIC) flow at {} Mbps",
+        result.capacity_mbps
+    );
+    println!(
+        "{:<8} {:>22} {:>24}",
+        "VCA", "uplink (vca/iperf)", "downlink (vca/iperf)"
+    );
+    for r in &result.rows {
+        println!(
+            "{:<8} {:>10.2} / {:<9.2} {:>11.2} / {:<9.2}",
+            r.vca, r.up_vca_mbps, r.up_iperf_mbps, r.down_vca_mbps, r.down_iperf_mbps
+        );
+    }
+    println!("(paper: Teams ≤37% up / ≤20% down; Meet & Zoom reach nominal at 2 Mbps)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teams_is_passive_against_tcp() {
+        let r = run(&TcpCompetitionConfig::quick());
+        let teams = r.row("Teams").unwrap();
+        let up_share = teams.up_vca_mbps / (teams.up_vca_mbps + teams.up_iperf_mbps);
+        let down_share = teams.down_vca_mbps / (teams.down_vca_mbps + teams.down_iperf_mbps);
+        assert!(up_share < 0.45, "Teams uplink share {up_share}");
+        assert!(down_share < 0.40, "Teams downlink share {down_share}");
+        // Meet and Zoom reach roughly their nominal rates at 2 Mbps.
+        let meet = r.row("Meet").unwrap();
+        assert!(
+            meet.up_vca_mbps > 0.6,
+            "Meet nominal up: {}",
+            meet.up_vca_mbps
+        );
+        let zoom = r.row("Zoom").unwrap();
+        assert!(
+            zoom.down_vca_mbps > 0.6,
+            "Zoom nominal down: {}",
+            zoom.down_vca_mbps
+        );
+    }
+
+    #[test]
+    fn zoom_probe_burst_detected() {
+        let r = run_fig13(7);
+        assert!(
+            r.burst_at_secs.is_some(),
+            "Zoom should re-probe above nominal during the TCP competition"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! **Figure 14** — Zoom vs. Netflix on a 0.5 Mbps downlink (§5.3).
+//!
+//! Paper observations: Zoom holds ~0.4 Mbps while Netflix struggles to
+//! exceed 0.1; Netflix opens 28 TCP connections over the 120 s experiment
+//! (each carrying >100 kbit), up to 11 in parallel — and it still doesn't
+//! help.
+
+use serde::Serialize;
+use vcabench_simcore::SimTime;
+use vcabench_vca::VcaKind;
+
+use crate::run::{run_competition, CompetitionConfig, Competitor, TwoPartyOutcome};
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Fig14Config {
+    /// Downlink capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig14Config {
+    fn default() -> Self {
+        Fig14Config {
+            capacity_mbps: 0.5,
+            seed: 141,
+        }
+    }
+}
+
+impl Fig14Config {
+    /// Same run; the experiment is already a single 3.5-minute simulation.
+    pub fn quick() -> Self {
+        Self::default()
+    }
+}
+
+/// Fig 14 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Result {
+    /// Zoom downlink Mbps per 100 ms bin (panel a).
+    pub zoom_series: Vec<f64>,
+    /// Netflix downlink Mbps per bin (panel a).
+    pub netflix_series: Vec<f64>,
+    /// Parallel-connection count per second (panel b).
+    pub parallel_conns: Vec<(f64, usize)>,
+    /// Total connections opened.
+    pub connections_opened: u64,
+    /// Peak parallel connections.
+    pub max_parallel: usize,
+    /// Zoom average during contention, Mbps.
+    pub zoom_mbps: f64,
+    /// Netflix average during contention, Mbps.
+    pub netflix_mbps: f64,
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Fig14Config) -> Fig14Result {
+    let ccfg = CompetitionConfig::paper(
+        VcaKind::Zoom,
+        Competitor::Netflix,
+        cfg.capacity_mbps,
+        cfg.seed,
+    );
+    let out = run_competition(&ccfg);
+    let from = SimTime::ZERO + ccfg.competitor_start + ccfg.competitor_duration / 4;
+    let to = SimTime::ZERO + ccfg.competitor_start + ccfg.competitor_duration;
+    let samples = out.netflix.clone().unwrap_or_default();
+    let parallel_conns: Vec<(f64, usize)> = samples
+        .iter()
+        .map(|s| (s.t.as_secs_f64(), s.parallel))
+        .collect();
+    let max_parallel = samples.iter().map(|s| s.parallel).max().unwrap_or(0);
+    Fig14Result {
+        zoom_mbps: TwoPartyOutcome::rate_between(&out.inc_down, from, to),
+        netflix_mbps: TwoPartyOutcome::rate_between(&out.comp_down, from, to),
+        zoom_series: out.inc_down,
+        netflix_series: out.comp_down,
+        parallel_conns,
+        connections_opened: out.netflix_conns,
+        max_parallel,
+    }
+}
+
+/// Render.
+pub fn print(result: &Fig14Result) {
+    println!("Fig 14: Netflix vs incumbent Zoom on a 0.5 Mbps downlink");
+    println!(
+        "  Zoom avg:    {:.2} Mbps   (paper: ~0.4)",
+        result.zoom_mbps
+    );
+    println!(
+        "  Netflix avg: {:.2} Mbps   (paper: ~0.1)",
+        result.netflix_mbps
+    );
+    println!(
+        "  Netflix connections: {} total, max {} parallel (paper: 28 total, 11 parallel)",
+        result.connections_opened, result.max_parallel
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoom_starves_netflix() {
+        let r = run(&Fig14Config::quick());
+        assert!(
+            r.zoom_mbps > 2.0 * r.netflix_mbps,
+            "Zoom {:.2} must dominate Netflix {:.2}",
+            r.zoom_mbps,
+            r.netflix_mbps
+        );
+        assert!(
+            r.zoom_mbps > 0.25,
+            "Zoom holds most of the link: {}",
+            r.zoom_mbps
+        );
+        // The multi-connection fan-out happened and did not help.
+        assert!(
+            r.connections_opened >= 10,
+            "many connections: {}",
+            r.connections_opened
+        );
+        assert!(r.max_parallel >= 3, "parallel fan-out: {}", r.max_parallel);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes a `Config` (with a `quick()` preset), a `run`
+//! function returning a serde-serializable result, and a `print` renderer
+//! producing the same rows/series the paper reports.
+
+pub mod ext;
+pub mod fig1;
+pub mod fig12_13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4_5_6;
+pub mod fig8_to_11;
+pub mod table2;

@@ -1,0 +1,149 @@
+//! **Table 2** — unconstrained network utilization.
+//!
+//! Paper values (Mbps): Meet 0.95↑/0.84↓, Teams 1.40↑/1.86↓, Zoom 0.78↑/0.95↓.
+//! Two-party call on an unconstrained (1 Gbps) access link; average
+//! utilization of C1's uplink and downlink over the steady part of the call.
+
+use serde::Serialize;
+use vcabench_netsim::RateProfile;
+use vcabench_simcore::{SimDuration, SimTime};
+use vcabench_stats::ci90;
+use vcabench_vca::VcaKind;
+
+use crate::run::{run_two_party, TwoPartyOutcome};
+
+/// Parameters of the Table 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Call length (paper: 2.5 minutes).
+    pub call: SimDuration,
+    /// Repetitions (paper: 5).
+    pub reps: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Table2Config {
+            call: SimDuration::from_secs(150),
+            reps: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl Table2Config {
+    /// Reduced preset for tests and benches.
+    pub fn quick() -> Self {
+        Table2Config {
+            call: SimDuration::from_secs(60),
+            reps: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// VCA name.
+    pub vca: String,
+    /// Mean upstream utilization, Mbps.
+    pub up_mbps: f64,
+    /// 90% CI half-width on the upstream mean.
+    pub up_ci: f64,
+    /// Mean downstream utilization, Mbps.
+    pub down_mbps: f64,
+    /// 90% CI half-width on the downstream mean.
+    pub down_ci: f64,
+}
+
+/// Full Table 2 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Result {
+    /// One row per VCA.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Table2Config) -> Table2Result {
+    let mut rows = Vec::new();
+    for kind in VcaKind::NATIVE {
+        let mut ups = Vec::new();
+        let mut downs = Vec::new();
+        for rep in 0..cfg.reps {
+            let out = run_two_party(
+                kind,
+                RateProfile::constant_mbps(1000.0),
+                RateProfile::constant_mbps(1000.0),
+                cfg.call,
+                cfg.seed + rep,
+            );
+            let settle = SimTime::ZERO + cfg.call / 5;
+            let end = out.duration;
+            ups.push(TwoPartyOutcome::rate_between(&out.up_series, settle, end));
+            downs.push(TwoPartyOutcome::rate_between(&out.down_series, settle, end));
+        }
+        let u = ci90(&ups);
+        let d = ci90(&downs);
+        rows.push(Table2Row {
+            vca: kind.name().to_string(),
+            up_mbps: u.mean,
+            up_ci: u.hi - u.mean,
+            down_mbps: d.mean,
+            down_ci: d.hi - d.mean,
+        });
+    }
+    Table2Result { rows }
+}
+
+/// Render the table like the paper's.
+pub fn print(result: &Table2Result) {
+    println!("Table 2: Unconstrained network utilization (Mbps)");
+    println!("{:<8} {:>10} {:>12}", "VCA", "Upstream", "Downstream");
+    for r in &result.rows {
+        println!(
+            "{:<8} {:>6.2}±{:<4.2} {:>6.2}±{:<4.2}",
+            r.vca, r.up_mbps, r.up_ci, r.down_mbps, r.down_ci
+        );
+    }
+    println!("(paper:  Meet 0.95/0.84, Teams 1.40/1.86, Zoom 0.78/0.95)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let result = run(&Table2Config::quick());
+        let get = |name: &str| result.rows.iter().find(|r| r.vca == name).unwrap();
+        let meet = get("Meet");
+        let teams = get("Teams");
+        let zoom = get("Zoom");
+        // Teams uses by far the most bandwidth in both directions.
+        assert!(teams.up_mbps > meet.up_mbps && teams.up_mbps > zoom.up_mbps);
+        assert!(teams.down_mbps > meet.down_mbps && teams.down_mbps > zoom.down_mbps);
+        // Meet sends more than it receives (simulcast up, one copy down).
+        assert!(meet.up_mbps > meet.down_mbps);
+        // Zoom receives more than it sends (server-side FEC).
+        assert!(zoom.down_mbps > zoom.up_mbps);
+        // Absolute bands.
+        assert!(
+            (0.7..=1.3).contains(&meet.up_mbps),
+            "meet up {}",
+            meet.up_mbps
+        );
+        assert!(
+            (0.6..=1.2).contains(&zoom.up_mbps),
+            "zoom up {}",
+            zoom.up_mbps
+        );
+        assert!(
+            (1.2..=2.2).contains(&teams.up_mbps),
+            "teams up {}",
+            teams.up_mbps
+        );
+    }
+}

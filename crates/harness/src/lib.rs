@@ -1,0 +1,22 @@
+//! # vcabench-harness
+//!
+//! The experiment harness: for every table and figure in *"Measuring the
+//! Performance and Network Utilization of Popular Video Conferencing
+//! Applications"* (IMC 2021), a module that regenerates it on the simulated
+//! substrate — workload, parameter sweep, statistics, and a text rendering
+//! of the same rows/series the paper reports.
+//!
+//! The `repro` binary drives everything:
+//! `cargo run --release -p vcabench-harness --bin repro -- all --quick`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod run;
+
+pub use run::{
+    run_competition, run_multiparty, run_two_party, run_two_party_with, CompetitionConfig,
+    CompetitionOutcome, Competitor, MultipartyOutcome, TwoPartyOutcome,
+};

@@ -1,0 +1,363 @@
+//! Receive-side video pipeline: frame reassembly, freeze detection, FIR.
+//!
+//! Implements the paper's §3.2 receiver metrics exactly:
+//!
+//! * a **freeze** occurs "if the frame inter-arrival > max(3δ, δ + 150 ms),
+//!   where δ is the average frame duration";
+//! * the **freeze ratio** normalizes total freeze duration by call duration;
+//! * a **FIR** (Full Intra Request) is issued when the receiver cannot decode
+//!   — here, when frames keep failing reassembly and the decoder needs a new
+//!   intra frame to resynchronize (the Fig 3b upstream metric).
+
+use std::collections::BTreeMap;
+
+use vcabench_simcore::{SimDuration, SimTime};
+use vcabench_transport::rtp::RtpPacket;
+
+/// The paper's fixed freeze offset (150 ms).
+pub const FREEZE_OFFSET: SimDuration = SimDuration::from_millis(150);
+
+/// Outcome of feeding a packet to the assembler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AssembleEvent {
+    /// Frame still incomplete.
+    Pending,
+    /// A frame completed reassembly (decodable).
+    FrameComplete {
+        /// Frame id.
+        frame_id: u64,
+        /// Total frame bytes.
+        bytes: usize,
+        /// Whether it was a keyframe.
+        keyframe: bool,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct PartialFrame {
+    received: u16,
+    expected: u16,
+    bytes: usize,
+    keyframe: bool,
+    first_seen: SimTime,
+}
+
+/// Reassembles RTP packets into frames and tracks decodability.
+///
+/// The decoder model: delta frames decode only if the decoder is in sync
+/// (no reference frame was skipped); a completed keyframe always restores
+/// sync. Losing any packet of a frame makes that frame undecodable.
+#[derive(Debug, Clone)]
+pub struct FrameAssembler {
+    partial: BTreeMap<u64, PartialFrame>,
+    /// Highest frame id fully decoded.
+    last_decoded: Option<u64>,
+    /// Decoder lost its reference chain and needs a keyframe.
+    pub needs_keyframe: bool,
+    /// Frames that completed reassembly and were decodable.
+    pub frames_decoded: u64,
+    /// Frames abandoned (packet loss or stale).
+    pub frames_dropped: u64,
+    stale_after: SimDuration,
+    /// Gaps of odd frame ids do not break the reference chain.
+    thinning_aware: bool,
+}
+
+impl FrameAssembler {
+    /// New assembler.
+    pub fn new() -> Self {
+        FrameAssembler {
+            partial: BTreeMap::new(),
+            last_decoded: None,
+            needs_keyframe: false,
+            frames_decoded: 0,
+            frames_dropped: 0,
+            stale_after: SimDuration::from_millis(2000),
+            thinning_aware: false,
+        }
+    }
+
+    /// Tolerate gaps of odd frame ids (the convention for droppable temporal
+    /// enhancement frames): used by Teams receivers whose relay thins the
+    /// stream by dropping enhancement frames in large calls (§6.1).
+    pub fn with_temporal_thinning(mut self) -> Self {
+        self.thinning_aware = true;
+        self
+    }
+
+    /// Feed one media packet. Returns whether a frame became decodable.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &RtpPacket, bytes: usize) -> AssembleEvent {
+        let entry = self
+            .partial
+            .entry(pkt.frame_id)
+            .or_insert_with(|| PartialFrame {
+                expected: pkt.frame_pkts.max(1),
+                first_seen: now,
+                ..PartialFrame::default()
+            });
+        entry.received += 1;
+        entry.bytes += bytes;
+        entry.keyframe |= pkt.meta.map(|m| m.keyframe).unwrap_or(false);
+        let complete = entry.received >= entry.expected;
+
+        // Expire stale partial frames (their packets were lost).
+        self.expire_stale(now, pkt.frame_id);
+
+        if !complete {
+            return AssembleEvent::Pending;
+        }
+        let frame = self.partial.remove(&pkt.frame_id).expect("entry exists");
+        let decodable = if frame.keyframe {
+            self.needs_keyframe = false;
+            true
+        } else {
+            !self.needs_keyframe
+        };
+        // Any skipped frame id breaks the reference chain for later deltas —
+        // unless thinning-aware and every skipped id is an odd (droppable
+        // temporal-enhancement) frame.
+        if let Some(last) = self.last_decoded {
+            let gap_breaks = if self.thinning_aware {
+                (last + 1..pkt.frame_id).any(|id| id % 2 == 0)
+            } else {
+                pkt.frame_id > last + 1
+            };
+            if gap_breaks && !frame.keyframe {
+                // A reference was missed; this delta cannot decode.
+                self.needs_keyframe = true;
+                self.frames_dropped += 1;
+                self.last_decoded = Some(pkt.frame_id);
+                return AssembleEvent::Pending;
+            }
+        }
+        self.last_decoded = Some(pkt.frame_id);
+        if decodable {
+            self.frames_decoded += 1;
+            AssembleEvent::FrameComplete {
+                frame_id: pkt.frame_id,
+                bytes: frame.bytes,
+                keyframe: frame.keyframe,
+            }
+        } else {
+            self.frames_dropped += 1;
+            AssembleEvent::Pending
+        }
+    }
+
+    fn expire_stale(&mut self, now: SimTime, current: u64) {
+        let stale: Vec<u64> = self
+            .partial
+            .iter()
+            .filter(|(&id, f)| {
+                id != current && now.saturating_since(f.first_seen) > self.stale_after
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            self.partial.remove(&id);
+            self.frames_dropped += 1;
+            self.needs_keyframe = true;
+        }
+    }
+
+    /// Partial frames currently buffered.
+    pub fn pending_frames(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Implements the paper's freeze rule over decoded-frame render times.
+#[derive(Debug, Clone)]
+pub struct FreezeDetector {
+    last_frame: Option<SimTime>,
+    /// EMA of inter-frame duration (δ), seconds.
+    avg_frame_dur_s: f64,
+    /// Total frozen time.
+    pub freeze_time: SimDuration,
+    /// Number of distinct freezes.
+    pub freeze_count: u64,
+    /// Total frames observed.
+    pub frames: u64,
+}
+
+impl FreezeDetector {
+    /// Detector assuming a starting frame rate of `initial_fps`.
+    pub fn new(initial_fps: f64) -> Self {
+        FreezeDetector {
+            last_frame: None,
+            avg_frame_dur_s: 1.0 / initial_fps.max(1.0),
+            freeze_time: SimDuration::ZERO,
+            freeze_count: 0,
+            frames: 0,
+        }
+    }
+
+    /// Record a rendered frame at `now`.
+    pub fn on_frame(&mut self, now: SimTime) {
+        self.frames += 1;
+        if let Some(last) = self.last_frame {
+            let gap_s = now.saturating_since(last).as_secs_f64();
+            let delta = self.avg_frame_dur_s;
+            let threshold = (3.0 * delta).max(delta + FREEZE_OFFSET.as_secs_f64());
+            if gap_s > threshold {
+                self.freeze_count += 1;
+                self.freeze_time += SimDuration::from_secs_f64(gap_s - delta);
+            }
+            // EMA update, ignoring freeze gaps so δ tracks the nominal rate.
+            if gap_s <= threshold {
+                self.avg_frame_dur_s = 0.95 * self.avg_frame_dur_s + 0.05 * gap_s;
+            }
+        }
+        self.last_frame = Some(now);
+    }
+
+    /// Freeze ratio over a call of `duration`.
+    pub fn freeze_ratio(&self, duration: SimDuration) -> f64 {
+        if duration.is_zero() {
+            return 0.0;
+        }
+        (self.freeze_time.as_secs_f64() / duration.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Current δ estimate in milliseconds.
+    pub fn avg_frame_duration_ms(&self) -> f64 {
+        self.avg_frame_dur_s * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcabench_transport::rtp::{FrameMeta, Layer, StreamKind};
+
+    fn pkt(frame_id: u64, idx: u16, of: u16, keyframe: bool) -> RtpPacket {
+        RtpPacket {
+            ssrc: 1,
+            seq: frame_id * 100 + idx as u64,
+            kind: StreamKind::Video,
+            layer: Layer::default(),
+            frame_id,
+            marker: idx + 1 == of,
+            frame_pkts: of,
+            is_fec: false,
+            is_retransmit: false,
+            capture_ts: SimTime::ZERO,
+            meta: Some(FrameMeta {
+                width: 640,
+                height: 360,
+                fps: 30.0,
+                qp: 30.0,
+                keyframe,
+            }),
+        }
+    }
+
+    #[test]
+    fn complete_frame_decodes() {
+        let mut a = FrameAssembler::new();
+        let t = SimTime::from_millis(10);
+        assert_eq!(
+            a.on_packet(t, &pkt(0, 0, 2, true), 500),
+            AssembleEvent::Pending
+        );
+        match a.on_packet(t, &pkt(0, 1, 2, true), 500) {
+            AssembleEvent::FrameComplete {
+                bytes, keyframe, ..
+            } => {
+                assert_eq!(bytes, 1000);
+                assert!(keyframe);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(a.frames_decoded, 1);
+    }
+
+    #[test]
+    fn missing_reference_blocks_deltas_until_keyframe() {
+        let mut a = FrameAssembler::new();
+        let t = SimTime::from_millis(1);
+        // Keyframe 0 decodes.
+        a.on_packet(t, &pkt(0, 0, 1, true), 500);
+        // Frame 1 lost entirely; frame 2 (delta) completes but cannot decode.
+        let ev = a.on_packet(t, &pkt(2, 0, 1, false), 500);
+        assert_eq!(ev, AssembleEvent::Pending);
+        assert!(a.needs_keyframe);
+        // Delta 3 also refused.
+        assert_eq!(
+            a.on_packet(t, &pkt(3, 0, 1, false), 500),
+            AssembleEvent::Pending
+        );
+        // Keyframe 4 restores sync.
+        assert!(matches!(
+            a.on_packet(t, &pkt(4, 0, 1, true), 500),
+            AssembleEvent::FrameComplete { .. }
+        ));
+        assert!(!a.needs_keyframe);
+    }
+
+    #[test]
+    fn stale_partial_frames_expire() {
+        let mut a = FrameAssembler::new();
+        a.on_packet(SimTime::ZERO, &pkt(0, 0, 2, false), 500); // half a frame
+                                                               // Three seconds later another frame's packet triggers expiry.
+        a.on_packet(SimTime::from_secs(3), &pkt(10, 0, 2, false), 500);
+        assert_eq!(a.frames_dropped, 1);
+        assert!(a.needs_keyframe);
+        assert_eq!(a.pending_frames(), 1); // only frame 10 remains
+    }
+
+    #[test]
+    fn freeze_rule_matches_paper_formula() {
+        let mut d = FreezeDetector::new(30.0);
+        // 30 fps cadence: δ = 33.3 ms; threshold = max(100 ms, 183 ms) = 183 ms.
+        let mut t = SimTime::ZERO;
+        for _ in 0..30 {
+            d.on_frame(t);
+            t += SimDuration::from_micros(33_333);
+        }
+        assert_eq!(d.freeze_count, 0);
+        // A 150 ms gap is below threshold: no freeze.
+        t += SimDuration::from_millis(150);
+        d.on_frame(t);
+        assert_eq!(d.freeze_count, 0);
+        // A 400 ms gap exceeds it: freeze.
+        t += SimDuration::from_millis(400);
+        d.on_frame(t);
+        assert_eq!(d.freeze_count, 1);
+        assert!(d.freeze_time >= SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn freeze_threshold_scales_with_low_fps() {
+        // At 5 fps (δ=200 ms) the 3δ term dominates: 550 ms gap is fine.
+        let mut d = FreezeDetector::new(5.0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            d.on_frame(t);
+            t += SimDuration::from_millis(200);
+        }
+        // After the loop `t` is one cadence past the last frame, so adding
+        // 350 ms produces an actual inter-frame gap of 550 ms < 3δ = 600 ms.
+        t += SimDuration::from_millis(350);
+        d.on_frame(t);
+        assert_eq!(d.freeze_count, 0, "below 3δ at low fps");
+        t += SimDuration::from_millis(700);
+        d.on_frame(t);
+        assert_eq!(d.freeze_count, 1);
+    }
+
+    #[test]
+    fn freeze_ratio_normalizes() {
+        let mut d = FreezeDetector::new(30.0);
+        d.on_frame(SimTime::ZERO);
+        d.on_frame(SimTime::from_secs(1)); // 1 s freeze
+        let ratio = d.freeze_ratio(SimDuration::from_secs(10));
+        assert!(ratio > 0.08 && ratio < 0.11, "ratio {ratio}");
+    }
+}

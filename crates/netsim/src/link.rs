@@ -1,0 +1,377 @@
+//! Unidirectional links: rate shaping, serialization, drop-tail queueing.
+//!
+//! A link models one direction of a physical hop: packets serialize one at a
+//! time at the profile rate in effect when serialization starts, wait in a
+//! byte-bounded drop-tail FIFO while the link is busy, and arrive at the far
+//! node one propagation delay after serialization completes.
+//!
+//! The drop-tail queue is where every effect in the paper ultimately comes
+//! from: self-inflicted queueing delay (sensed by delay-based congestion
+//! control), loss under overload (sensed by loss-based control and by video
+//! receivers as freezes), and the bandwidth contention of §5.
+
+use std::collections::{HashMap, VecDeque};
+
+use vcabench_simcore::{transmission_time, SimDuration, SimTime};
+
+use crate::packet::{FlowId, NodeId, Packet};
+use crate::profile::RateProfile;
+use crate::trace::FlowTraces;
+
+/// Configuration of one unidirectional link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Rate schedule (the `tc` shaping applied to this hop).
+    pub rate: RateProfile,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Drop-tail queue capacity in bytes (excludes the packet in service).
+    pub queue_bytes: usize,
+    /// Random-impairment model: drop every `n`-th packet deterministically
+    /// (`0` = no impairment). Used by the §8 "other network conditions"
+    /// extension experiments; periodic loss keeps runs reproducible.
+    pub drop_every: u64,
+    /// Jitter: each packet's propagation delay is extended by a
+    /// deterministic pseudo-random amount in `[0, jitter]` derived from the
+    /// packet id (reproducible, and reordering-capable like real jitter).
+    pub jitter: SimDuration,
+}
+
+impl LinkConfig {
+    /// A link with the given constant rate in Mbps, delay, and the default
+    /// 64 KiB queue (a typical home-router buffer).
+    pub fn mbps(mbps: f64, delay: SimDuration) -> Self {
+        LinkConfig {
+            rate: RateProfile::constant_mbps(mbps),
+            delay,
+            queue_bytes: 64 * 1024,
+            drop_every: 0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Replace the rate profile.
+    pub fn with_profile(mut self, rate: RateProfile) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Replace the queue capacity.
+    pub fn with_queue_bytes(mut self, bytes: usize) -> Self {
+        self.queue_bytes = bytes;
+        self
+    }
+
+    /// Impair the link: drop every `n`-th packet (`0` disables). A loss rate
+    /// of p maps to `n = (1/p).round()`.
+    pub fn with_drop_every(mut self, n: u64) -> Self {
+        self.drop_every = n;
+        self
+    }
+
+    /// Impair the link with per-packet jitter up to `jitter`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Impair the link with an approximate random-loss probability.
+    pub fn with_loss_rate(self, p: f64) -> Self {
+        if p <= 0.0 {
+            self.with_drop_every(0)
+        } else {
+            self.with_drop_every((1.0 / p).round().max(1.0) as u64)
+        }
+    }
+}
+
+/// Drop and delivery counters, kept per flow.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Packets fully delivered per flow.
+    pub delivered: HashMap<FlowId, u64>,
+    /// Packets dropped at the queue tail per flow.
+    pub dropped: HashMap<FlowId, u64>,
+    /// Bytes delivered per flow.
+    pub delivered_bytes: HashMap<FlowId, u64>,
+}
+
+impl LinkStats {
+    /// Total packets dropped across flows.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Total packets delivered across flows.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Loss fraction for one flow (drops / (drops + deliveries)).
+    pub fn loss_fraction(&self, flow: FlowId) -> f64 {
+        let d = self.dropped.get(&flow).copied().unwrap_or(0) as f64;
+        let ok = self.delivered.get(&flow).copied().unwrap_or(0) as f64;
+        if d + ok == 0.0 {
+            0.0
+        } else {
+            d / (d + ok)
+        }
+    }
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The link was idle; serialization starts now and completes at the
+    /// contained time (schedule a `LinkReady` event for it).
+    StartTx(SimTime),
+    /// The packet joined the queue behind the packet in service.
+    Queued,
+    /// The queue was full; the packet was dropped.
+    Dropped,
+}
+
+/// One unidirectional link instance.
+#[derive(Debug)]
+pub struct Link<P> {
+    cfg: LinkConfig,
+    /// Node packets are delivered to.
+    pub to: NodeId,
+    queue: VecDeque<Packet<P>>,
+    queued_bytes: usize,
+    in_service: Option<Packet<P>>,
+    /// Packets offered so far (drives the periodic impairment).
+    offered: u64,
+    /// Delivery/drop counters.
+    pub stats: LinkStats,
+    /// Departure-side throughput traces (bytes counted when serialization
+    /// completes, i.e. the on-wire rate a passive tap would measure).
+    pub traces: FlowTraces,
+}
+
+impl<P> Link<P> {
+    /// Create a link delivering to `to`.
+    pub fn new(cfg: LinkConfig, to: NodeId) -> Self {
+        Link {
+            cfg,
+            to,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            in_service: None,
+            offered: 0,
+            stats: LinkStats::default(),
+            traces: FlowTraces::new(),
+        }
+    }
+
+    /// Configured propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.cfg.delay
+    }
+
+    /// Propagation delay for a specific packet, including its deterministic
+    /// jitter draw (a splitmix-style hash of the packet id).
+    pub fn delay_for(&self, pkt_id: u64) -> SimDuration {
+        if self.cfg.jitter.is_zero() {
+            return self.cfg.delay;
+        }
+        let mut z = pkt_id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let extra = z % (self.cfg.jitter.as_micros() + 1);
+        self.cfg.delay + SimDuration::from_micros(extra)
+    }
+
+    /// Rate in effect at `t` (bps).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        self.cfg.rate.rate_at(t)
+    }
+
+    /// Bytes currently waiting (excluding the packet in service).
+    pub fn backlog_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Packets currently waiting.
+    pub fn backlog_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offer a packet. If the link is idle the packet enters service and the
+    /// returned time is when serialization completes; otherwise it queues or
+    /// drops.
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet<P>) -> EnqueueOutcome {
+        self.offered += 1;
+        if self.cfg.drop_every > 0 && self.offered.is_multiple_of(self.cfg.drop_every) {
+            *self.stats.dropped.entry(pkt.flow).or_default() += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        if self.in_service.is_none() {
+            let done = now + transmission_time(pkt.size, self.rate_at(now));
+            self.in_service = Some(pkt);
+            EnqueueOutcome::StartTx(done)
+        } else if self.queued_bytes + pkt.size <= self.cfg.queue_bytes {
+            self.queued_bytes += pkt.size;
+            self.queue.push_back(pkt);
+            EnqueueOutcome::Queued
+        } else {
+            *self.stats.dropped.entry(pkt.flow).or_default() += 1;
+            EnqueueOutcome::Dropped
+        }
+    }
+
+    /// Complete the packet in service. Returns the delivered packet and, if
+    /// another packet starts serialization, the time it will complete.
+    ///
+    /// Panics if no packet is in service (a `LinkReady` event without a
+    /// packet indicates an engine bug).
+    pub fn complete(&mut self, now: SimTime) -> (Packet<P>, Option<SimTime>) {
+        let pkt = self.in_service.take().expect("LinkReady with idle link");
+        *self.stats.delivered.entry(pkt.flow).or_default() += 1;
+        *self.stats.delivered_bytes.entry(pkt.flow).or_default() += pkt.size as u64;
+        self.traces.record(pkt.flow, now, pkt.size);
+        let next_done = self.queue.pop_front().map(|next| {
+            self.queued_bytes -= next.size;
+            let done = now + transmission_time(next.size, self.rate_at(now));
+            self.in_service = Some(next);
+            done
+        });
+        (pkt, next_done)
+    }
+
+    /// Queueing delay a newly arriving packet would currently experience,
+    /// assuming the present rate holds (used by tests and diagnostics).
+    pub fn estimated_queue_delay(&self, now: SimTime) -> SimDuration {
+        let rate = self.rate_at(now);
+        let in_service = self.in_service.as_ref().map(|p| p.size).unwrap_or(0);
+        transmission_time(self.queued_bytes + in_service, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcabench_simcore::SimTime;
+
+    fn pkt(id: u64, size: usize) -> Packet<()> {
+        Packet {
+            id,
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            sent_at: SimTime::ZERO,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn idle_link_starts_tx_immediately() {
+        let mut l = Link::new(
+            LinkConfig::mbps(1.0, SimDuration::from_millis(5)),
+            NodeId(1),
+        );
+        // 1500 B at 1 Mbps = 12 ms serialization.
+        match l.enqueue(SimTime::ZERO, pkt(1, 1500)) {
+            EnqueueOutcome::StartTx(t) => assert_eq!(t, SimTime::from_millis(12)),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_link_queues_then_serves_fifo() {
+        let mut l = Link::new(LinkConfig::mbps(1.0, SimDuration::ZERO), NodeId(1));
+        assert!(matches!(
+            l.enqueue(SimTime::ZERO, pkt(1, 1500)),
+            EnqueueOutcome::StartTx(_)
+        ));
+        assert_eq!(
+            l.enqueue(SimTime::ZERO, pkt(2, 1000)),
+            EnqueueOutcome::Queued
+        );
+        assert_eq!(l.backlog_packets(), 1);
+        let (p1, next) = l.complete(SimTime::from_millis(12));
+        assert_eq!(p1.id, 1);
+        // 1000 B at 1 Mbps = 8 ms.
+        assert_eq!(next, Some(SimTime::from_millis(20)));
+        let (p2, next2) = l.complete(SimTime::from_millis(20));
+        assert_eq!(p2.id, 2);
+        assert!(next2.is_none());
+        assert_eq!(l.stats.total_delivered(), 2);
+    }
+
+    #[test]
+    fn full_queue_drops_tail() {
+        let cfg = LinkConfig::mbps(1.0, SimDuration::ZERO).with_queue_bytes(2000);
+        let mut l = Link::new(cfg, NodeId(1));
+        l.enqueue(SimTime::ZERO, pkt(1, 1500)); // in service
+        assert_eq!(
+            l.enqueue(SimTime::ZERO, pkt(2, 1500)),
+            EnqueueOutcome::Queued
+        );
+        assert_eq!(
+            l.enqueue(SimTime::ZERO, pkt(3, 1500)),
+            EnqueueOutcome::Dropped
+        );
+        assert_eq!(l.stats.total_dropped(), 1);
+        assert!(l.stats.loss_fraction(FlowId(1)) > 0.0);
+    }
+
+    #[test]
+    fn rate_change_applies_to_next_service_start() {
+        let profile = RateProfile::constant_mbps(1.0).step(SimTime::from_millis(10), 0.5e6);
+        let cfg = LinkConfig::mbps(1.0, SimDuration::ZERO).with_profile(profile);
+        let mut l = Link::new(cfg, NodeId(1));
+        l.enqueue(SimTime::ZERO, pkt(1, 1500));
+        l.enqueue(SimTime::ZERO, pkt(2, 1500));
+        let (_, next) = l.complete(SimTime::from_millis(12));
+        // Second packet starts at 12 ms when the rate is 0.5 Mbps -> 24 ms tx.
+        assert_eq!(next, Some(SimTime::from_millis(36)));
+    }
+
+    #[test]
+    fn traces_count_departures() {
+        let mut l = Link::new(LinkConfig::mbps(8.0, SimDuration::ZERO), NodeId(1));
+        l.enqueue(SimTime::ZERO, pkt(1, 1000));
+        l.complete(SimTime::from_millis(1));
+        assert_eq!(l.traces.total().total_bytes(), 1000);
+        assert_eq!(l.traces.flow(FlowId(1)).unwrap().total_bytes(), 1000);
+    }
+
+    #[test]
+    fn periodic_impairment_drops_every_nth() {
+        let cfg = LinkConfig::mbps(1000.0, SimDuration::ZERO).with_drop_every(4);
+        let mut l = Link::new(cfg, NodeId(1));
+        let mut dropped = 0;
+        let mut t = SimTime::ZERO;
+        for i in 0..40u64 {
+            match l.enqueue(t, pkt(i, 100)) {
+                EnqueueOutcome::Dropped => dropped += 1,
+                EnqueueOutcome::StartTx(done) => {
+                    t = done;
+                    let _ = l.complete(t);
+                }
+                EnqueueOutcome::Queued => unreachable!("link drained each step"),
+            }
+        }
+        assert_eq!(dropped, 10, "exactly every 4th packet dropped");
+    }
+
+    #[test]
+    fn loss_rate_maps_to_period() {
+        let a = LinkConfig::mbps(1.0, SimDuration::ZERO).with_loss_rate(0.01);
+        assert_eq!(a.drop_every, 100);
+        let b = LinkConfig::mbps(1.0, SimDuration::ZERO).with_loss_rate(0.0);
+        assert_eq!(b.drop_every, 0);
+        let c = LinkConfig::mbps(1.0, SimDuration::ZERO).with_loss_rate(0.05);
+        assert_eq!(c.drop_every, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "LinkReady with idle link")]
+    fn complete_on_idle_panics() {
+        let mut l: Link<()> = Link::new(LinkConfig::mbps(1.0, SimDuration::ZERO), NodeId(1));
+        l.complete(SimTime::ZERO);
+    }
+}

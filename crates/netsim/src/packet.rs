@@ -1,0 +1,89 @@
+//! Packets and the identifiers used throughout the simulated network.
+
+use std::fmt;
+
+use vcabench_simcore::SimTime;
+
+/// Identifier of a node (endpoint, router, switch, or server) in a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Identifier of an application-level flow (one direction of one stream).
+///
+/// Flows are assigned by the experiment; all statistics (bitrate traces,
+/// drop counts, link shares) are keyed by flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A simulated packet.
+///
+/// `P` is the protocol payload type chosen by the layer above (vcabench uses
+/// a single `Wire` enum covering RTP/RTCP/TCP/QUIC); netsim itself only needs
+/// the size and addressing fields.
+#[derive(Debug, Clone)]
+pub struct Packet<P> {
+    /// Globally unique packet id (assigned at send time).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node; routed hop-by-hop via static tables.
+    pub dst: NodeId,
+    /// Total on-wire size, bytes (headers included).
+    pub size: usize,
+    /// Time the packet entered the network at its source.
+    pub sent_at: SimTime,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(1).to_string(), "l1");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn packet_is_cloneable() {
+        let p = Packet {
+            id: 1,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1200,
+            sent_at: SimTime::ZERO,
+            payload: "x",
+        };
+        let q = p.clone();
+        assert_eq!(q.size, 1200);
+        assert_eq!(q.payload, "x");
+    }
+}

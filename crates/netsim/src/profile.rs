@@ -1,0 +1,157 @@
+//! Time-varying link rate profiles — the simulator's equivalent of `tc`.
+//!
+//! The paper shapes the access link with Linux traffic control: static
+//! shaping for the capacity sweeps (§3), 30-second transient reductions for
+//! the disruption experiments (§4), and symmetric caps for the competition
+//! experiments (§5). All of these are piecewise-constant rate schedules,
+//! which is exactly what [`RateProfile`] expresses.
+
+use vcabench_simcore::{SimDuration, SimTime};
+
+/// A piecewise-constant schedule of link rates in bits per second.
+#[derive(Debug, Clone)]
+pub struct RateProfile {
+    /// `(from, rate_bps)` steps, sorted by `from`; first entry is at t=0.
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl RateProfile {
+    /// A constant rate for the whole simulation.
+    pub fn constant(bps: f64) -> Self {
+        assert!(bps > 0.0, "rate must be positive");
+        RateProfile {
+            steps: vec![(SimTime::ZERO, bps)],
+        }
+    }
+
+    /// Convenience: constant rate given in Mbps.
+    pub fn constant_mbps(mbps: f64) -> Self {
+        Self::constant(mbps * 1e6)
+    }
+
+    /// Append a step: from `at` onward the rate is `bps`.
+    ///
+    /// Steps must be added in increasing time order.
+    pub fn step(mut self, at: SimTime, bps: f64) -> Self {
+        assert!(bps > 0.0, "rate must be positive");
+        assert!(
+            self.steps.last().map(|&(t, _)| at >= t).unwrap_or(true),
+            "steps must be time-ordered"
+        );
+        if let Some(last) = self.steps.last_mut() {
+            if last.0 == at {
+                last.1 = bps;
+                return self;
+            }
+        }
+        self.steps.push((at, bps));
+        self
+    }
+
+    /// The paper's disruption profile (§4): run at `nominal_bps`, reduce to
+    /// `reduced_bps` during `[start, start+duration)`, then restore.
+    pub fn disruption(
+        nominal_bps: f64,
+        reduced_bps: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        Self::constant(nominal_bps)
+            .step(start, reduced_bps)
+            .step(start + duration, nominal_bps)
+    }
+
+    /// Rate in effect at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self.steps.binary_search_by(|&(st, _)| st.cmp(&t)) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => self.steps[0].1, // before first step: use initial rate
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// The next instant strictly after `t` at which the rate changes.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        self.steps.iter().map(|&(st, _)| st).find(|&st| st > t)
+    }
+
+    /// Minimum rate anywhere in the schedule.
+    pub fn min_rate(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum rate anywhere in the schedule.
+    pub fn max_rate(&self) -> f64 {
+        self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = RateProfile::constant_mbps(1.0);
+        assert_eq!(p.rate_at(SimTime::ZERO), 1e6);
+        assert_eq!(p.rate_at(SimTime::from_secs(1000)), 1e6);
+        assert_eq!(p.next_change_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn step_lookup() {
+        let p = RateProfile::constant(100.0)
+            .step(SimTime::from_secs(10), 50.0)
+            .step(SimTime::from_secs(20), 75.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(9)), 100.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(10)), 50.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(15)), 50.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(20)), 75.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(100)), 75.0);
+    }
+
+    #[test]
+    fn disruption_shape() {
+        let p = RateProfile::disruption(
+            1e9,
+            0.25e6,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(p.rate_at(SimTime::from_secs(59)), 1e9);
+        assert_eq!(p.rate_at(SimTime::from_secs(60)), 0.25e6);
+        assert_eq!(p.rate_at(SimTime::from_secs(89)), 0.25e6);
+        assert_eq!(p.rate_at(SimTime::from_secs(90)), 1e9);
+        assert_eq!(p.min_rate(), 0.25e6);
+        assert_eq!(p.max_rate(), 1e9);
+    }
+
+    #[test]
+    fn next_change_walks_steps() {
+        let p = RateProfile::constant(1.0).step(SimTime::from_secs(5), 2.0);
+        assert_eq!(
+            p.next_change_after(SimTime::ZERO),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(p.next_change_after(SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn same_time_step_overwrites() {
+        let p = RateProfile::constant(1.0)
+            .step(SimTime::from_secs(5), 2.0)
+            .step(SimTime::from_secs(5), 3.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(5)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_step_panics() {
+        let _ = RateProfile::constant(1.0)
+            .step(SimTime::from_secs(5), 2.0)
+            .step(SimTime::from_secs(4), 3.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-flow throughput traces.
+//!
+//! The paper reports *sent network bitrate* sampled over the call and binned
+//! into short intervals (Figures 1, 4, 5, 9, 11–14). We record bytes that
+//! finish serialization on a link into fixed-width time bins and convert to
+//! Mbps series on demand.
+
+use std::collections::HashMap;
+
+use vcabench_simcore::{SimDuration, SimTime};
+
+use crate::packet::FlowId;
+
+/// Default bin width used by all experiments (100 ms).
+pub const DEFAULT_BIN: SimDuration = SimDuration::from_millis(100);
+
+/// Byte counts accumulated into fixed-width time bins.
+#[derive(Debug, Clone)]
+pub struct BinTrace {
+    bin: SimDuration,
+    bins: Vec<u64>,
+}
+
+impl BinTrace {
+    /// Create a trace with the given bin width.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        BinTrace {
+            bin,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` observed at time `t`.
+    pub fn record(&mut self, t: SimTime, bytes: usize) {
+        let idx = (t.as_micros() / self.bin.as_micros()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += bytes as u64;
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Number of bins (up to the last recorded event).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Bytes recorded in `[from, to)`.
+    pub fn bytes_between(&self, from: SimTime, to: SimTime) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let lo = (from.as_micros() / self.bin.as_micros()) as usize;
+        let hi = to.as_micros().div_ceil(self.bin.as_micros()) as usize;
+        self.bins
+            .iter()
+            .take(hi.min(self.bins.len()))
+            .skip(lo)
+            .sum()
+    }
+
+    /// Average rate over `[from, to)` in Mbps.
+    pub fn rate_mbps_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let dur = to.saturating_since(from).as_secs_f64();
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_between(from, to) as f64 * 8.0 / dur / 1e6
+    }
+
+    /// Per-bin bitrate series in Mbps, padded with zeros out to `until`.
+    pub fn series_mbps(&self, until: SimTime) -> Vec<f64> {
+        let n = until.as_micros().div_ceil(self.bin.as_micros()) as usize;
+        let secs = self.bin.as_secs_f64();
+        (0..n.max(self.bins.len()))
+            .map(|i| self.bins.get(i).copied().unwrap_or(0) as f64 * 8.0 / secs / 1e6)
+            .collect()
+    }
+}
+
+/// Traces for every flow crossing a link, plus the aggregate.
+#[derive(Debug, Clone)]
+pub struct FlowTraces {
+    bin: SimDuration,
+    per_flow: HashMap<FlowId, BinTrace>,
+    total: BinTrace,
+}
+
+impl FlowTraces {
+    /// Create with the default 100 ms bins.
+    pub fn new() -> Self {
+        Self::with_bin(DEFAULT_BIN)
+    }
+
+    /// Create with a custom bin width.
+    pub fn with_bin(bin: SimDuration) -> Self {
+        FlowTraces {
+            bin,
+            per_flow: HashMap::new(),
+            total: BinTrace::new(bin),
+        }
+    }
+
+    /// Record `bytes` of `flow` at `t`.
+    pub fn record(&mut self, flow: FlowId, t: SimTime, bytes: usize) {
+        self.per_flow
+            .entry(flow)
+            .or_insert_with(|| BinTrace::new(self.bin))
+            .record(t, bytes);
+        self.total.record(t, bytes);
+    }
+
+    /// Trace of a single flow, if it ever sent.
+    pub fn flow(&self, flow: FlowId) -> Option<&BinTrace> {
+        self.per_flow.get(&flow)
+    }
+
+    /// Aggregate trace across all flows.
+    pub fn total(&self) -> &BinTrace {
+        &self.total
+    }
+
+    /// All flows seen.
+    pub fn flows(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.per_flow.keys().copied()
+    }
+
+    /// Combined Mbps series of a set of flows (zero-padded to `until`).
+    pub fn combined_series_mbps(&self, flows: &[FlowId], until: SimTime) -> Vec<f64> {
+        let n = until.as_micros().div_ceil(self.bin.as_micros()) as usize;
+        let mut out = vec![0.0; n];
+        for f in flows {
+            if let Some(tr) = self.per_flow.get(f) {
+                for (i, v) in tr.series_mbps(until).iter().enumerate() {
+                    if i < out.len() {
+                        out[i] += v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Combined bytes of a set of flows in `[from, to)`.
+    pub fn combined_bytes_between(&self, flows: &[FlowId], from: SimTime, to: SimTime) -> u64 {
+        flows
+            .iter()
+            .filter_map(|f| self.per_flow.get(f))
+            .map(|tr| tr.bytes_between(from, to))
+            .sum()
+    }
+
+    /// Combined average Mbps of a set of flows over `[from, to)`.
+    pub fn combined_rate_mbps(&self, flows: &[FlowId], from: SimTime, to: SimTime) -> f64 {
+        let dur = to.saturating_since(from).as_secs_f64();
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        self.combined_bytes_between(flows, from, to) as f64 * 8.0 / dur / 1e6
+    }
+}
+
+impl Default for FlowTraces {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_and_rates() {
+        let mut tr = BinTrace::new(SimDuration::from_millis(100));
+        // 12500 bytes in 100 ms = 1 Mbps.
+        tr.record(SimTime::from_millis(50), 12_500);
+        tr.record(SimTime::from_millis(150), 25_000);
+        let s = tr.series_mbps(SimTime::from_millis(200));
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        assert!((s[1] - 2.0).abs() < 1e-9);
+        assert_eq!(tr.total_bytes(), 37_500);
+    }
+
+    #[test]
+    fn bytes_between_window() {
+        let mut tr = BinTrace::new(SimDuration::from_millis(100));
+        for i in 0..10 {
+            tr.record(SimTime::from_millis(i * 100 + 1), 100);
+        }
+        assert_eq!(
+            tr.bytes_between(SimTime::from_millis(200), SimTime::from_millis(500)),
+            300
+        );
+        assert_eq!(
+            tr.bytes_between(SimTime::ZERO, SimTime::from_secs(100)),
+            1000
+        );
+        assert_eq!(
+            tr.bytes_between(SimTime::from_secs(1), SimTime::from_secs(1)),
+            0
+        );
+    }
+
+    #[test]
+    fn rate_mbps_between_computes_average() {
+        let mut tr = BinTrace::new(SimDuration::from_millis(100));
+        // 125_000 bytes over 1 s = 1 Mbps.
+        for i in 0..10 {
+            tr.record(SimTime::from_millis(i * 100), 12_500);
+        }
+        let r = tr.rate_mbps_between(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((r - 1.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn flow_traces_aggregate() {
+        let mut ft = FlowTraces::new();
+        ft.record(FlowId(1), SimTime::from_millis(10), 1000);
+        ft.record(FlowId(2), SimTime::from_millis(20), 2000);
+        assert_eq!(ft.total().total_bytes(), 3000);
+        assert_eq!(ft.flow(FlowId(1)).unwrap().total_bytes(), 1000);
+        assert!(ft.flow(FlowId(3)).is_none());
+        let combined = ft.combined_bytes_between(
+            &[FlowId(1), FlowId(2)],
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(combined, 3000);
+    }
+
+    #[test]
+    fn series_zero_padded() {
+        let tr = BinTrace::new(SimDuration::from_millis(100));
+        let s = tr.series_mbps(SimTime::from_secs(1));
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+}

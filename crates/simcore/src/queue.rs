@@ -1,0 +1,206 @@
+//! Deterministic event queue.
+//!
+//! Events carry an arbitrary payload `E` and fire at a [`SimTime`]. Ties are
+//! broken by insertion order (a monotonically increasing sequence number), so
+//! the pop order is a total order that does not depend on heap internals —
+//! a prerequisite for reproducible simulations.
+//!
+//! Scheduled events can be cancelled by [`EventId`]; cancellation is lazy
+//! (tombstoned) and O(1).
+
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of events with stable tie-breaking and cancellation.
+///
+/// ```
+/// use vcabench_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "second");
+/// let early = q.schedule(SimTime::from_secs(1), "first");
+/// q.cancel(early);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "second")));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    /// seq -> cancelled flag for still-pending events.
+    live: HashMap<u64, bool>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq, false);
+        self.heap.push(Scheduled { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancel a pending event. Returns true if the event was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.live.entry(id.0) {
+            Entry::Occupied(mut e) => {
+                let was_cancelled = *e.get();
+                *e.get_mut() = true;
+                !was_cancelled
+            }
+            Entry::Vacant(_) => false,
+        }
+    }
+
+    /// Time of the next (non-cancelled) event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Remove and return the next event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let s = self.heap.pop()?;
+        self.live.remove(&s.seq);
+        Some((s.at, s.payload))
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.values().filter(|&&c| !c).count()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.values().all(|&c| c)
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.live.get(&top.seq).copied().unwrap_or(true) {
+                let s = self.heap.pop().expect("peeked");
+                self.live.remove(&s.seq);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "x");
+        q.schedule(SimTime::from_secs(2), "y");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("y"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(5), 2);
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::ZERO, ());
+        q.pop();
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_stable() {
+        let mut q = EventQueue::new();
+        let base = SimTime::from_secs(10);
+        q.schedule(base, 0);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0));
+        q.schedule(base, 1);
+        q.schedule(base + SimDuration::from_micros(1), 2);
+        q.schedule(base, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Forward error correction model.
+//!
+//! Zoom protects media with FEC, reportedly generated at the relay server
+//! (the paper cites a Zoom patent and Nistico et al.), and the §3.1
+//! sent/received asymmetry is attributed to this server-added redundancy.
+//! We model FEC at the block level: for every block of `k` media packets the
+//! protector adds `r` repair packets; up to `r` losses within the block are
+//! recoverable.
+
+/// FEC block configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FecParams {
+    /// Media packets per block.
+    pub k: u32,
+    /// Repair packets per block.
+    pub r: u32,
+}
+
+impl FecParams {
+    /// Parameters from a redundancy ratio (repair bytes / media bytes),
+    /// using blocks of 10 media packets.
+    pub fn from_ratio(ratio: f64) -> Self {
+        let k = 10u32;
+        let r = (ratio * k as f64).round().max(0.0) as u32;
+        FecParams { k, r }
+    }
+
+    /// Redundancy overhead ratio r/k.
+    pub fn ratio(&self) -> f64 {
+        if self.k == 0 {
+            0.0
+        } else {
+            self.r as f64 / self.k as f64
+        }
+    }
+
+    /// Given `lost` media losses in a block with `repair_lost` repair
+    /// losses, how many media packets are recovered? (An (k+r, k) code
+    /// recovers all media iff total losses ≤ r.)
+    pub fn recovered(&self, media_lost: u32, repair_lost: u32) -> u32 {
+        if media_lost + repair_lost <= self.r {
+            media_lost
+        } else {
+            0
+        }
+    }
+
+    /// Expected fraction of media loss repaired at independent random loss
+    /// probability `p` (analytic, used by coarse models and tests).
+    pub fn expected_recovery_fraction(&self, p: f64) -> f64 {
+        if self.r == 0 || p <= 0.0 {
+            return if p <= 0.0 { 1.0 } else { 0.0 };
+        }
+        // Probability that a block with ≥1 media loss has total losses ≤ r,
+        // approximated by Monte-Carlo-free binomial tail on the block.
+        let n = self.k + self.r;
+        // P(total losses ≤ r)
+        let mut cum = 0.0;
+        for i in 0..=self.r {
+            cum += binom_pmf(n, i, p);
+        }
+        cum.clamp(0.0, 1.0)
+    }
+}
+
+fn binom_pmf(n: u32, k: u32, p: f64) -> f64 {
+    let mut c = 1.0f64;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_round_trip() {
+        let f = FecParams::from_ratio(0.2);
+        assert_eq!(f.k, 10);
+        assert_eq!(f.r, 2);
+        assert!((f.ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_within_budget() {
+        let f = FecParams { k: 10, r: 2 };
+        assert_eq!(f.recovered(1, 0), 1);
+        assert_eq!(f.recovered(2, 0), 2);
+        assert_eq!(f.recovered(1, 1), 1);
+        assert_eq!(f.recovered(3, 0), 0, "beyond repair budget");
+        assert_eq!(f.recovered(1, 2), 0);
+    }
+
+    #[test]
+    fn expected_recovery_monotone_in_ratio() {
+        let lo = FecParams::from_ratio(0.1).expected_recovery_fraction(0.05);
+        let hi = FecParams::from_ratio(0.5).expected_recovery_fraction(0.05);
+        assert!(hi > lo, "more redundancy recovers more: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn expected_recovery_extremes() {
+        let f = FecParams::from_ratio(0.2);
+        assert_eq!(f.expected_recovery_fraction(0.0), 1.0);
+        assert!(f.expected_recovery_fraction(0.9) < 0.01);
+        let none = FecParams { k: 10, r: 0 };
+        assert_eq!(none.expected_recovery_fraction(0.1), 0.0);
+    }
+
+    #[test]
+    fn binom_pmf_sums_to_one() {
+        let n = 12;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,353 @@
+//! RTP media packets and send/receive session state.
+//!
+//! All three VCAs transmit media over RTP or a variant of it (§2.1). The
+//! simulation carries a structured [`RtpPacket`] instead of wire bytes: the
+//! fields are exactly the header information the measurement relies on
+//! (SSRC, sequence number, marker bit) plus frame metadata that a real
+//! receiver would recover from the codec bitstream (resolution, FPS, QP) and
+//! that the paper reads out of `chrome://webrtc-internals`.
+
+use vcabench_simcore::{SimDuration, SimTime};
+
+/// Media stream type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Video RTP stream.
+    Video,
+    /// Audio RTP stream (small constant bitrate).
+    Audio,
+}
+
+/// Spatial/temporal layer of a packet (used by simulcast and SVC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Layer {
+    /// Spatial layer / simulcast stream index (0 = lowest quality).
+    pub spatial: u8,
+    /// Temporal layer index (0 = base frame rate).
+    pub temporal: u8,
+}
+
+/// Encoding parameters attached to a video frame, mirroring what the
+/// WebRTC stats API exposes per second (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameMeta {
+    /// Frame width in pixels (the paper reports this dimension).
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frames per second the encoder is currently producing.
+    pub fps: f64,
+    /// Quantization parameter (higher = coarser).
+    pub qp: f64,
+    /// True for intra (key) frames.
+    pub keyframe: bool,
+}
+
+/// A simulated RTP packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtpPacket {
+    /// Synchronization source: one per (sender, stream, layer).
+    pub ssrc: u32,
+    /// Sequence number. The simulation uses a u64 to avoid u16 wrap
+    /// bookkeeping; loss detection semantics are identical.
+    pub seq: u64,
+    /// Media stream kind.
+    pub kind: StreamKind,
+    /// Layer of this packet.
+    pub layer: Layer,
+    /// Frame this packet belongs to.
+    pub frame_id: u64,
+    /// Marker bit: last packet of the frame.
+    pub marker: bool,
+    /// Total packets in this frame (lets the receiver detect completeness
+    /// without waiting for sequence-gap inference).
+    pub frame_pkts: u16,
+    /// True for FEC/redundancy packets (Zoom's probing padding).
+    pub is_fec: bool,
+    /// True when this is a NACK-triggered retransmission (recovered packets
+    /// must not erase the loss signal congestion control relies on).
+    pub is_retransmit: bool,
+    /// Capture timestamp at the sender (for one-way-delay measurement).
+    pub capture_ts: SimTime,
+    /// Frame metadata (video only; replicated on each packet of the frame).
+    pub meta: Option<FrameMeta>,
+}
+
+/// Per-SSRC sender state: assigns sequence numbers and frame ids.
+#[derive(Debug, Clone)]
+pub struct RtpSendState {
+    /// The stream's SSRC.
+    pub ssrc: u32,
+    next_seq: u64,
+    next_frame: u64,
+}
+
+impl RtpSendState {
+    /// New sender state for `ssrc`.
+    pub fn new(ssrc: u32) -> Self {
+        RtpSendState {
+            ssrc,
+            next_seq: 0,
+            next_frame: 0,
+        }
+    }
+
+    /// Allocate the next sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Allocate the next frame id.
+    pub fn next_frame(&mut self) -> u64 {
+        let f = self.next_frame;
+        self.next_frame += 1;
+        f
+    }
+
+    /// Number of packets sent so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Aggregate receive statistics over one report interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IntervalStats {
+    /// Packets received this interval.
+    pub received: u64,
+    /// Packets detected lost (sequence gaps) this interval.
+    pub lost: u64,
+    /// Bytes received this interval.
+    pub bytes: u64,
+    /// Mean one-way delay of received packets, ms.
+    pub mean_owd_ms: f64,
+    /// Minimum one-way delay in the interval, ms. Delay-gradient controllers
+    /// should prefer this: it tracks the *standing* queue while ignoring
+    /// intra-frame serialization sawtooth.
+    pub min_owd_ms: f64,
+    /// Packets recovered by FEC this interval.
+    pub fec_recovered: u64,
+}
+
+impl IntervalStats {
+    /// Loss fraction in `[0, 1]` (after FEC recovery is *not* applied here;
+    /// callers subtract recovered packets if they model FEC).
+    pub fn loss_fraction(&self) -> f64 {
+        let total = self.received + self.lost;
+        if total == 0 {
+            0.0
+        } else {
+            self.lost as f64 / total as f64
+        }
+    }
+
+    /// Delivery rate over `interval`, Mbps.
+    pub fn receive_rate_mbps(&self, interval: SimDuration) -> f64 {
+        let s = interval.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / s / 1e6
+        }
+    }
+}
+
+/// Per-SSRC receiver state: detects gaps, measures delay, accumulates
+/// interval statistics for RTCP reports.
+#[derive(Debug, Clone)]
+pub struct RtpRecvState {
+    highest_seq: Option<u64>,
+    current: IntervalStats,
+    owd_sum_ms: f64,
+    owd_min_ms: f64,
+    owd_samples: u64,
+    /// Lifetime totals.
+    pub total_received: u64,
+    /// Lifetime loss count.
+    pub total_lost: u64,
+}
+
+impl RtpRecvState {
+    /// Fresh receiver state.
+    pub fn new() -> Self {
+        RtpRecvState {
+            highest_seq: None,
+            current: IntervalStats::default(),
+            owd_sum_ms: 0.0,
+            owd_min_ms: f64::INFINITY,
+            owd_samples: 0,
+            total_received: 0,
+            total_lost: 0,
+        }
+    }
+
+    /// Ingest a packet that arrived at `now` with on-wire size `size`.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &RtpPacket, size: usize) {
+        self.current.received += 1;
+        self.current.bytes += size as u64;
+        self.total_received += 1;
+        let owd_ms = now.saturating_since(pkt.capture_ts).as_micros() as f64 / 1000.0;
+        self.owd_sum_ms += owd_ms;
+        self.owd_min_ms = self.owd_min_ms.min(owd_ms);
+        self.owd_samples += 1;
+        match self.highest_seq {
+            None => self.highest_seq = Some(pkt.seq),
+            Some(h) if pkt.seq > h => {
+                let gap = pkt.seq - h - 1;
+                self.current.lost += gap;
+                self.total_lost += gap;
+                self.highest_seq = Some(pkt.seq);
+            }
+            Some(_) => {
+                // Reordered packet previously counted lost: repair the count
+                // — unless it is a retransmission, which repairs the *frame*
+                // but must leave the loss signal intact (WebRTC reports
+                // pre-recovery loss to the bandwidth estimator).
+                if !pkt.is_retransmit {
+                    if self.current.lost > 0 {
+                        self.current.lost -= 1;
+                    }
+                    self.total_lost = self.total_lost.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Mark `n` packets as recovered by FEC this interval.
+    pub fn on_fec_recovery(&mut self, n: u64) {
+        self.current.fec_recovered += n;
+    }
+
+    /// Close the current interval, returning its statistics.
+    pub fn take_interval(&mut self) -> IntervalStats {
+        let mut stats = std::mem::take(&mut self.current);
+        stats.mean_owd_ms = if self.owd_samples > 0 {
+            self.owd_sum_ms / self.owd_samples as f64
+        } else {
+            0.0
+        };
+        stats.min_owd_ms = if self.owd_samples > 0 {
+            self.owd_min_ms
+        } else {
+            0.0
+        };
+        self.owd_sum_ms = 0.0;
+        self.owd_min_ms = f64::INFINITY;
+        self.owd_samples = 0;
+        stats
+    }
+
+    /// Highest sequence number seen (None before the first packet).
+    pub fn highest_seq(&self) -> Option<u64> {
+        self.highest_seq
+    }
+
+    /// Lifetime loss fraction.
+    pub fn lifetime_loss_fraction(&self) -> f64 {
+        let total = self.total_received + self.total_lost;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_lost as f64 / total as f64
+        }
+    }
+}
+
+impl Default for RtpRecvState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, capture: SimTime) -> RtpPacket {
+        RtpPacket {
+            ssrc: 1,
+            seq,
+            kind: StreamKind::Video,
+            layer: Layer::default(),
+            frame_id: seq / 3,
+            marker: seq % 3 == 2,
+            frame_pkts: 3,
+            is_fec: false,
+            is_retransmit: false,
+            capture_ts: capture,
+            meta: None,
+        }
+    }
+
+    #[test]
+    fn send_state_allocates_monotonic() {
+        let mut s = RtpSendState::new(7);
+        assert_eq!(s.next_seq(), 0);
+        assert_eq!(s.next_seq(), 1);
+        assert_eq!(s.next_frame(), 0);
+        assert_eq!(s.next_frame(), 1);
+        assert_eq!(s.packets_sent(), 2);
+    }
+
+    #[test]
+    fn recv_counts_in_order_packets() {
+        let mut r = RtpRecvState::new();
+        for i in 0..10 {
+            r.on_packet(
+                SimTime::from_millis(i * 10 + 5),
+                &pkt(i, SimTime::from_millis(i * 10)),
+                1200,
+            );
+        }
+        let s = r.take_interval();
+        assert_eq!(s.received, 10);
+        assert_eq!(s.lost, 0);
+        assert_eq!(s.bytes, 12_000);
+        assert!((s.mean_owd_ms - 5.0).abs() < 1e-9);
+        assert_eq!(s.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recv_detects_gaps() {
+        let mut r = RtpRecvState::new();
+        r.on_packet(SimTime::from_millis(1), &pkt(0, SimTime::ZERO), 100);
+        r.on_packet(SimTime::from_millis(2), &pkt(4, SimTime::ZERO), 100);
+        let s = r.take_interval();
+        assert_eq!(s.lost, 3);
+        assert!((s.loss_fraction() - 0.6).abs() < 1e-9);
+        assert!((r.lifetime_loss_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reordering_repairs_loss_count() {
+        let mut r = RtpRecvState::new();
+        r.on_packet(SimTime::from_millis(1), &pkt(0, SimTime::ZERO), 100);
+        r.on_packet(SimTime::from_millis(2), &pkt(2, SimTime::ZERO), 100);
+        r.on_packet(SimTime::from_millis(3), &pkt(1, SimTime::ZERO), 100);
+        let s = r.take_interval();
+        assert_eq!(s.lost, 0, "reordered packet is not a loss");
+        assert_eq!(s.received, 3);
+    }
+
+    #[test]
+    fn interval_resets() {
+        let mut r = RtpRecvState::new();
+        r.on_packet(SimTime::from_millis(1), &pkt(0, SimTime::ZERO), 100);
+        let _ = r.take_interval();
+        let s2 = r.take_interval();
+        assert_eq!(s2.received, 0);
+        assert_eq!(s2.mean_owd_ms, 0.0);
+    }
+
+    #[test]
+    fn receive_rate_computation() {
+        let s = IntervalStats {
+            bytes: 12_500, // at 100 ms -> 1 Mbps
+            ..Default::default()
+        };
+        assert!((s.receive_rate_mbps(SimDuration::from_millis(100)) - 1.0).abs() < 1e-9);
+        assert_eq!(s.receive_rate_mbps(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,582 @@
+//! TCP with CUBIC congestion control.
+//!
+//! The competition experiments (§5) pit the VCAs against a long iPerf3 TCP
+//! flow ("The iPerf3 server uses TCP CUBIC"), against Netflix (many parallel
+//! TCP connections), and against YouTube (QUIC, which the referenced study
+//! shows behaves CUBIC-like for fairness purposes). This module implements
+//! the sender ([`Connection`]) and receiver ([`TcpReceiver`]) halves as pure
+//! state machines: the owning simulation agent moves [`SendAction`]s and
+//! acks across the network and calls [`Connection::poll`] on a timer.
+//!
+//! Loss recovery is deliberately simple but faithful in its dynamics:
+//! slow start, CUBIC congestion avoidance (with the TCP-friendly region),
+//! fast retransmit on three duplicate ACKs (window ×0.7), and go-back-N on
+//! retransmission timeout (window to 1 MSS, exponential RTO backoff).
+
+use std::collections::BTreeMap;
+
+use vcabench_simcore::{SimDuration, SimTime};
+
+/// Congestion-avoidance algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAlgo {
+    /// CUBIC (RFC 8312): default for iPerf3/Netflix/YouTube models.
+    Cubic,
+    /// Classic Reno AIMD (used in unit tests and ablations).
+    Reno,
+}
+
+/// Connection configuration.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment size, payload bytes.
+    pub mss: usize,
+    /// Initial congestion window, segments.
+    pub init_cwnd: f64,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Congestion-avoidance algorithm.
+    pub algo: CcAlgo,
+    /// CUBIC β (multiplicative decrease factor).
+    pub beta: f64,
+    /// CUBIC C (aggressiveness constant).
+    pub cubic_c: f64,
+    /// Initial slow-start threshold, segments. Modern stacks bound the
+    /// initial exponential burst (route caching / HyStart); unbounded slow
+    /// start overshoots drop-tail queues by a whole window and the cumulative
+    /// -ACK recovery here (no SACK) pays one RTT per lost segment.
+    pub init_ssthresh: f64,
+    /// Consecutive holes retransmitted per partial ACK during recovery — a
+    /// cumulative-ACK approximation of SACK-based loss recovery.
+    pub recovery_burst: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1200,
+            init_cwnd: 10.0,
+            // 300 ms rather than Linux's 200 ms: the simulated access queues
+            // can add >200 ms of bloat within one RTT of slow-start
+            // overshoot, which would fire spurious timeouts before the RTT
+            // estimator catches up (real stacks mitigate this with F-RTO).
+            min_rto: SimDuration::from_millis(300),
+            algo: CcAlgo::Cubic,
+            beta: 0.7,
+            cubic_c: 0.4,
+            init_ssthresh: 45.0,
+            recovery_burst: 4,
+        }
+    }
+}
+
+/// A segment the connection wants transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendAction {
+    /// First byte offset of the segment.
+    pub seq: u64,
+    /// Payload length, bytes.
+    pub len: usize,
+    /// True when this is a retransmission.
+    pub retransmit: bool,
+}
+
+/// Lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Fast retransmits triggered.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Total segments emitted (including retransmissions).
+    pub segments_sent: u64,
+}
+
+/// Sender half of a TCP connection.
+///
+/// ```
+/// use vcabench_simcore::SimTime;
+/// use vcabench_transport::tcp::{Connection, TcpConfig, TcpReceiver};
+///
+/// let mut tx = Connection::new(TcpConfig::default(), Some(30_000));
+/// let mut rx = TcpReceiver::new();
+/// let mut now = SimTime::ZERO;
+/// let mut wire = tx.poll(now);
+/// while !tx.done() {
+///     now = now + vcabench_simcore::SimDuration::from_millis(20);
+///     let acks: Vec<u64> = wire.drain(..).map(|s| rx.on_segment(s.seq, s.len)).collect();
+///     for a in acks {
+///         wire.extend(tx.on_ack(now, a));
+///     }
+///     wire.extend(tx.poll(now));
+/// }
+/// assert_eq!(rx.bytes_received, 30_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Connection {
+    cfg: TcpConfig,
+    /// Next never-sent byte.
+    next_new_seq: u64,
+    /// Lowest unacknowledged byte.
+    snd_una: u64,
+    /// Total bytes the application will send (`None` = unbounded, iPerf3).
+    app_total: Option<u64>,
+    /// Congestion window, segments.
+    cwnd: f64,
+    ssthresh: f64,
+    // CUBIC state.
+    w_max: f64,
+    epoch_start: Option<SimTime>,
+    // RTT estimation (RFC 6298).
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: SimDuration,
+    rto_backoff: u32,
+    /// In-flight segments: seq → (len, time sent, was retransmitted).
+    sent: BTreeMap<u64, (usize, SimTime, bool)>,
+    dup_acks: u32,
+    /// In fast recovery until `snd_una` passes this sequence.
+    recovery_end: Option<u64>,
+    /// Lifetime counters.
+    pub stats: TcpStats,
+}
+
+impl Connection {
+    /// New connection. `app_total` bounds the bytes to send (None = endless).
+    pub fn new(cfg: TcpConfig, app_total: Option<u64>) -> Self {
+        let cwnd = cfg.init_cwnd;
+        let ssthresh = cfg.init_ssthresh;
+        Connection {
+            cfg,
+            next_new_seq: 0,
+            snd_una: 0,
+            app_total,
+            cwnd,
+            ssthresh,
+            w_max: 0.0,
+            epoch_start: None,
+            srtt: None,
+            rttvar: 0.0,
+            rto: SimDuration::from_millis(1000),
+            rto_backoff: 0,
+            sent: BTreeMap::new(),
+            dup_acks: 0,
+            recovery_end: None,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Add more application bytes to a bounded connection.
+    pub fn enqueue(&mut self, bytes: u64) {
+        if let Some(t) = self.app_total.as_mut() {
+            *t += bytes;
+        }
+    }
+
+    /// Congestion window in segments (diagnostics).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Bytes acknowledged so far.
+    pub fn bytes_acked(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// True once every application byte is acknowledged.
+    pub fn done(&self) -> bool {
+        self.app_total == Some(self.snd_una)
+    }
+
+    /// True when the peer has stopped responding (successive exponential
+    /// RTO backoffs exhausted) — the sender should tear the connection down
+    /// rather than retransmit forever (an abandoned Netflix range request).
+    pub fn abandoned(&self) -> bool {
+        self.rto_backoff >= 6
+    }
+
+    /// Smoothed RTT estimate, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// MSS in bytes.
+    pub fn mss(&self) -> usize {
+        self.cfg.mss
+    }
+
+    fn in_flight_segments(&self) -> f64 {
+        self.sent.len() as f64
+    }
+
+    fn available_bytes(&self) -> u64 {
+        match self.app_total {
+            Some(total) => total.saturating_sub(self.next_new_seq),
+            None => u64::MAX,
+        }
+    }
+
+    fn update_rtt(&mut self, sample_s: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample_s);
+                self.rttvar = sample_s / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample_s).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * sample_s);
+            }
+        }
+        let rto_s = self.srtt.unwrap() + 4.0 * self.rttvar;
+        self.rto = SimDuration::from_secs_f64(rto_s)
+            .max(self.cfg.min_rto)
+            .min(SimDuration::from_secs(60));
+        self.rto_backoff = 0;
+    }
+
+    fn cubic_k(&self) -> f64 {
+        (self.w_max * (1.0 - self.cfg.beta) / self.cfg.cubic_c).cbrt()
+    }
+
+    fn grow_window(&mut self, now: SimTime, acked_segments: f64) {
+        if self.recovery_end.is_some() {
+            return; // no growth during fast recovery
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start, capped at ssthresh.
+            self.cwnd = (self.cwnd + acked_segments).min(self.ssthresh);
+            return;
+        }
+        match self.cfg.algo {
+            CcAlgo::Reno => {
+                self.cwnd += acked_segments / self.cwnd;
+            }
+            CcAlgo::Cubic => {
+                let epoch = *self.epoch_start.get_or_insert(now);
+                let srtt = self.srtt.unwrap_or(0.1);
+                let t = now.saturating_since(epoch).as_secs_f64() + srtt;
+                let k = self.cubic_k();
+                let w_cubic = self.cfg.cubic_c * (t - k).powi(3) + self.w_max;
+                // TCP-friendly region (RFC 8312 §4.2).
+                let w_est = self.w_max * self.cfg.beta
+                    + 3.0 * (1.0 - self.cfg.beta) / (1.0 + self.cfg.beta) * (t / srtt);
+                let target = w_cubic.max(w_est);
+                if target > self.cwnd {
+                    self.cwnd += (target - self.cwnd) / self.cwnd * acked_segments;
+                } else {
+                    self.cwnd += 0.01 * acked_segments / self.cwnd;
+                }
+            }
+        }
+        self.cwnd = self.cwnd.min(10_000.0);
+    }
+
+    fn enter_loss_recovery(&mut self, now: SimTime) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * self.cfg.beta).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.epoch_start = None;
+        self.recovery_end = Some(self.next_new_seq);
+        self.stats.fast_retransmits += 1;
+        let _ = now;
+    }
+
+    /// Process a cumulative acknowledgement. Returns segments to transmit.
+    pub fn on_ack(&mut self, now: SimTime, ack: u64) -> Vec<SendAction> {
+        let mut out = Vec::new();
+        if ack > self.snd_una {
+            // New data acknowledged.
+            let mut acked_segments = 0.0;
+            let acked_keys: Vec<u64> = self.sent.range(..ack).map(|(&s, _)| s).collect();
+            let mut rtt_sample: Option<f64> = None;
+            for k in acked_keys {
+                if let Some((_, sent_at, retx)) = self.sent.remove(&k) {
+                    acked_segments += 1.0;
+                    if !retx {
+                        rtt_sample = Some(now.saturating_since(sent_at).as_secs_f64());
+                    }
+                }
+            }
+            if let Some(s) = rtt_sample {
+                self.update_rtt(s);
+            }
+            self.snd_una = ack;
+            self.dup_acks = 0;
+            if let Some(end) = self.recovery_end {
+                if ack >= end {
+                    self.recovery_end = None;
+                } else {
+                    // NewReno partial ACK: the following holes are known lost
+                    // too. Retransmit a small burst of the oldest unacked
+                    // segments (a cumulative-ACK stand-in for SACK recovery)
+                    // instead of paying one RTT per hole.
+                    let burst: Vec<(u64, usize)> = self
+                        .sent
+                        .iter()
+                        .take(self.cfg.recovery_burst)
+                        .map(|(&seq, &(len, _, _))| (seq, len))
+                        .collect();
+                    for (seq, len) in burst {
+                        self.sent.insert(seq, (len, now, true));
+                        self.stats.segments_sent += 1;
+                        out.push(SendAction {
+                            seq,
+                            len,
+                            retransmit: true,
+                        });
+                    }
+                }
+            }
+            self.grow_window(now, acked_segments);
+        } else if ack == self.snd_una && !self.sent.is_empty() {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && self.recovery_end.is_none() {
+                self.enter_loss_recovery(now);
+                // Retransmit the first unacked segment.
+                if let Some((&seq, &(len, _, _))) = self.sent.iter().next() {
+                    self.sent.insert(seq, (len, now, true));
+                    self.stats.segments_sent += 1;
+                    out.push(SendAction {
+                        seq,
+                        len,
+                        retransmit: true,
+                    });
+                }
+            }
+        }
+        out.extend(self.send_permitted(now));
+        out
+    }
+
+    /// Periodic maintenance: RTO detection and (re)filling the window.
+    /// Call every few milliseconds.
+    pub fn poll(&mut self, now: SimTime) -> Vec<SendAction> {
+        let mut out = Vec::new();
+        if let Some((&_first_seq, &(_, sent_at, _))) = self.sent.iter().next() {
+            let effective_rto = self.rto * 2u64.pow(self.rto_backoff.min(6));
+            if now.saturating_since(sent_at) >= effective_rto {
+                // Timeout: collapse the window and go back N.
+                self.stats.timeouts += 1;
+                self.w_max = self.cwnd;
+                self.ssthresh = (self.cwnd * 0.5).max(2.0);
+                self.cwnd = 1.0;
+                self.epoch_start = None;
+                self.recovery_end = None;
+                self.dup_acks = 0;
+                self.rto_backoff += 1;
+                self.sent.clear();
+                self.next_new_seq = self.snd_una;
+            }
+        }
+        out.extend(self.send_permitted(now));
+        out
+    }
+
+    fn send_permitted(&mut self, now: SimTime) -> Vec<SendAction> {
+        let mut out = Vec::new();
+        while self.in_flight_segments() < self.cwnd.floor() && self.available_bytes() > 0 {
+            let len = (self.cfg.mss as u64).min(self.available_bytes()) as usize;
+            let seq = self.next_new_seq;
+            self.sent.insert(seq, (len, now, false));
+            self.next_new_seq += len as u64;
+            self.stats.segments_sent += 1;
+            out.push(SendAction {
+                seq,
+                len,
+                retransmit: false,
+            });
+        }
+        out
+    }
+}
+
+/// Receiver half: cumulative acknowledgements with out-of-order buffering.
+#[derive(Debug, Clone, Default)]
+pub struct TcpReceiver {
+    expected: u64,
+    ooo: BTreeMap<u64, usize>,
+    /// Total in-order bytes delivered to the application.
+    pub bytes_received: u64,
+}
+
+impl TcpReceiver {
+    /// Fresh receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a data segment; returns the cumulative ACK to send back.
+    pub fn on_segment(&mut self, seq: u64, len: usize) -> u64 {
+        if seq + len as u64 > self.expected {
+            self.ooo.insert(seq, len);
+        }
+        // Advance over any now-contiguous buffered segments.
+        loop {
+            let mut advanced = false;
+            let keys: Vec<u64> = self.ooo.range(..=self.expected).map(|(&s, _)| s).collect();
+            for k in keys {
+                let l = self.ooo.remove(&k).expect("key exists");
+                let end = k + l as u64;
+                if end > self.expected {
+                    self.bytes_received += end - self.expected;
+                    self.expected = end;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        self.expected
+    }
+
+    /// Next expected byte (the cumulative ACK value).
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_cumulative_and_ooo() {
+        let mut r = TcpReceiver::new();
+        assert_eq!(r.on_segment(0, 100), 100);
+        assert_eq!(r.on_segment(200, 100), 100, "gap: ack stays");
+        assert_eq!(r.on_segment(100, 100), 300, "gap filled: ack jumps");
+        assert_eq!(r.bytes_received, 300);
+        // Duplicate does nothing.
+        assert_eq!(r.on_segment(0, 100), 300);
+        assert_eq!(r.bytes_received, 300);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let cfg = TcpConfig::default();
+        let mut c = Connection::new(cfg, None);
+        let t0 = SimTime::ZERO;
+        let first = c.poll(t0);
+        assert_eq!(first.len(), 10, "initial window");
+        // Ack everything after 50 ms: cwnd should grow by the acked count.
+        let acked = first.iter().map(|s| s.len as u64).sum::<u64>();
+        let more = c.on_ack(SimTime::from_millis(50), acked);
+        assert!(c.cwnd() >= 19.0, "cwnd {}", c.cwnd());
+        assert!(more.len() >= 19, "window refill {} segments", more.len());
+    }
+
+    #[test]
+    fn fast_retransmit_on_three_dupacks() {
+        let mut c = Connection::new(TcpConfig::default(), None);
+        let t0 = SimTime::ZERO;
+        let segs = c.poll(t0);
+        assert!(segs.len() >= 4);
+        let cwnd_before = c.cwnd();
+        // Three duplicate ACKs for seq 0.
+        let mut retx = Vec::new();
+        for i in 1..=3u64 {
+            retx = c.on_ack(SimTime::from_millis(i * 10), 0);
+        }
+        assert_eq!(c.stats.fast_retransmits, 1);
+        assert!(retx.iter().any(|s| s.retransmit && s.seq == 0));
+        assert!(c.cwnd() < cwnd_before, "cwnd cut by beta");
+        assert!((c.cwnd() - cwnd_before * 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_goes_back_n() {
+        let mut c = Connection::new(TcpConfig::default(), None);
+        c.poll(SimTime::ZERO);
+        // No acks for 5 seconds → timeout.
+        let again = c.poll(SimTime::from_secs(5));
+        assert_eq!(c.stats.timeouts, 1);
+        assert!((c.cwnd() - 1.0).abs() < 1e-9);
+        assert_eq!(again.len(), 1, "only one segment in flight after RTO");
+        assert_eq!(again[0].seq, 0, "go-back-N restarts at snd_una");
+    }
+
+    #[test]
+    fn bounded_transfer_completes() {
+        let mut c = Connection::new(TcpConfig::default(), Some(5000));
+        let mut r = TcpReceiver::new();
+        let mut now = SimTime::ZERO;
+        let mut to_send = c.poll(now);
+        let mut guard = 0;
+        while !c.done() {
+            guard += 1;
+            assert!(guard < 1000, "transfer must terminate");
+            now += SimDuration::from_millis(10);
+            let mut acks = Vec::new();
+            for s in to_send.drain(..) {
+                acks.push(r.on_segment(s.seq, s.len));
+            }
+            let mut next = Vec::new();
+            for a in acks {
+                next.extend(c.on_ack(now, a));
+            }
+            next.extend(c.poll(now));
+            to_send = next;
+        }
+        assert_eq!(c.bytes_acked(), 5000);
+        assert_eq!(r.bytes_received, 5000);
+    }
+
+    #[test]
+    fn cubic_window_grows_concave_then_convex() {
+        let mut c = Connection::new(TcpConfig::default(), None);
+        // Prime: establish an RTT long enough that the cubic region (not the
+        // TCP-friendly Reno bound) governs growth, and a known w_max.
+        c.poll(SimTime::ZERO);
+        c.on_ack(SimTime::from_millis(300), 1200 * 10);
+        // Force congestion avoidance with a known w_max.
+        c.w_max = 100.0;
+        c.ssthresh = 70.0;
+        c.cwnd = 70.0;
+        c.epoch_start = None;
+        let mut deltas = Vec::new();
+        let mut prev = c.cwnd();
+        for i in 0..200 {
+            let now = SimTime::from_millis(100 + i * 100);
+            c.grow_window(now, 10.0);
+            deltas.push(c.cwnd() - prev);
+            prev = c.cwnd();
+        }
+        // Concave first (slowing into the w_max plateau around t=K≈4.2 s),
+        // convex later (accelerating past it).
+        let early: f64 = deltas[..10].iter().sum();
+        let plateau: f64 = deltas[35..45].iter().sum();
+        let late: f64 = deltas[120..130].iter().sum();
+        assert!(
+            early > plateau,
+            "growth slows near w_max: early {early} plateau {plateau}"
+        );
+        assert!(
+            late > plateau,
+            "growth accelerates past plateau: late {late} plateau {plateau}"
+        );
+    }
+
+    #[test]
+    fn rtt_estimation_reasonable() {
+        let mut c = Connection::new(TcpConfig::default(), None);
+        let segs = c.poll(SimTime::ZERO);
+        let bytes: u64 = segs.iter().map(|s| s.len as u64).sum();
+        c.on_ack(SimTime::from_millis(80), bytes);
+        let srtt = c.srtt().expect("measured");
+        assert_eq!(srtt.as_millis(), 80);
+    }
+
+    #[test]
+    fn karn_ignores_retransmitted_samples() {
+        let mut c = Connection::new(TcpConfig::default(), None);
+        c.poll(SimTime::ZERO);
+        for i in 1..=3u64 {
+            c.on_ack(SimTime::from_millis(i), 0); // dupacks → retransmit seq 0
+        }
+        // Ack only the retransmitted segment much later; srtt must not be
+        // polluted by the ambiguous sample.
+        c.on_ack(SimTime::from_secs(10), 1200);
+        assert!(c.srtt().is_none() || c.srtt().unwrap() < SimDuration::from_secs(5));
+    }
+}

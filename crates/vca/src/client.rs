@@ -1,0 +1,831 @@
+//! The simulated VCA client: encoder, pacer, congestion controller, and
+//! receive pipeline in one network agent.
+//!
+//! A client plays both roles of §2.2's laptops: it captures the talking-head
+//! source, encodes it according to its VCA's adaptation policy, paces RTP
+//! packets (plus FEC for Zoom) toward the call server, and decodes whatever
+//! the server forwards, producing the WebRTC-style statistics the paper
+//! samples every second.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use vcabench_congestion::{
+    FbraController, FeedbackReport, GccController, RateController, TeamsController,
+};
+use vcabench_media::{
+    policy::StreamPlan, EncoderPolicy, FrameAssembler, FreezeDetector, MeetPolicy,
+};
+use vcabench_netsim::{Agent, Ctx, FlowId, NodeId, Packet};
+use vcabench_simcore::{SimDuration, SimRng, SimTime};
+use vcabench_transport::{
+    rtcp::{FirTracker, ReceiverReport, RtcpPacket},
+    rtp::{FrameMeta, RtpPacket, RtpRecvState, RtpSendState, StreamKind},
+    wire::{SignalMsg, Wire, UDP_OVERHEAD},
+};
+
+use crate::config::VcaKind;
+use crate::layout::ViewMode;
+use crate::stats_api::{StatsCollector, StatsSample};
+
+/// RTP payload bytes per packet.
+const RTP_PAYLOAD: usize = 1100;
+/// RTP header bytes (+UDP/IP added separately).
+const RTP_HEADER: usize = 12;
+/// Audio packet cadence.
+const AUDIO_INTERVAL: SimDuration = SimDuration::from_millis(20);
+/// Report and replan cadence.
+const TICK: SimDuration = SimDuration::from_millis(100);
+
+const TIMER_RTCP: u64 = 1;
+const TIMER_PACE: u64 = 5;
+const TIMER_BOOT: u64 = 6;
+const TIMER_AUDIO: u64 = 2;
+const TIMER_STATS: u64 = 3;
+const TIMER_REPLAN: u64 = 4;
+const TIMER_FRAME_BASE: u64 = 100;
+
+/// The per-VCA congestion controller, dispatching without trait objects so
+/// VCA-specific knobs (Teams' nominal, Zoom's FEC fraction) stay reachable.
+#[derive(Debug, Clone)]
+pub enum Controller {
+    /// Meet: GCC.
+    Gcc(GccController),
+    /// Zoom: FBRA-style FEC probing.
+    Fbra(FbraController),
+    /// Teams: conservative loss-based.
+    Teams(TeamsController),
+}
+
+impl Controller {
+    fn on_report(&mut self, r: &FeedbackReport) {
+        match self {
+            Controller::Gcc(c) => c.on_report(r),
+            Controller::Fbra(c) => c.on_report(r),
+            Controller::Teams(c) => c.on_report(r),
+        }
+    }
+
+    /// Current target total rate, Mbps.
+    pub fn target_mbps(&self) -> f64 {
+        match self {
+            Controller::Gcc(c) => c.target_mbps(),
+            Controller::Fbra(c) => c.target_mbps(),
+            Controller::Teams(c) => c.target_mbps(),
+        }
+    }
+
+    fn fec_fraction(&self) -> f64 {
+        match self {
+            Controller::Gcc(c) => c.fec_fraction(),
+            Controller::Fbra(c) => c.fec_fraction(),
+            Controller::Teams(c) => c.fec_fraction(),
+        }
+    }
+
+    fn set_bounds(&mut self, min: f64, max: f64) {
+        match self {
+            Controller::Gcc(c) => c.set_bounds(min, max),
+            Controller::Fbra(c) => c.set_bounds(min, max),
+            Controller::Teams(c) => c.set_bounds(min, max),
+        }
+    }
+}
+
+/// Receive-side state for one inbound SSRC.
+struct RecvStream {
+    rtp: RtpRecvState,
+    assembler: FrameAssembler,
+    last_meta: Option<FrameMeta>,
+    /// Last packet arrival (stats must ignore streams the SFU stopped
+    /// forwarding, or a stale simulcast copy's metadata would linger).
+    last_arrival: SimTime,
+}
+
+/// Render state per remote sender (freeze detection spans SSRC switches).
+struct RenderState {
+    freeze: FreezeDetector,
+    fir: FirTracker,
+    frames_total: u64,
+}
+
+/// One simulated VCA client.
+pub struct VcaClient {
+    /// Which application this client runs.
+    pub kind: VcaKind,
+    /// This client's index within the call (0-based).
+    pub index: u32,
+    server: NodeId,
+    uplink_flow: FlowId,
+    /// Congestion controller.
+    pub controller: Controller,
+    policy: Box<dyn EncoderPolicy>,
+    plans: Vec<StreamPlan>,
+    sources: Vec<vcabench_media::TalkingHeadSource>,
+    send_states: Vec<RtpSendState>,
+    frame_timer_active: Vec<bool>,
+    audio_send: RtpSendState,
+    fec_debt_bytes: f64,
+    /// FEC bytes to emit per media byte (recomputed at each replan): fills
+    /// the gap between the controller target and the quantized layer stack,
+    /// so Zoom's on-wire rate tracks its target *continuously* — the layer
+    /// ladder alone would make the rate jump in 0.3 Mbps steps.
+    fec_per_media: f64,
+    fec_send: RtpSendState,
+    /// Pacer queue: (wire size, payload). Real WebRTC paces media at ~2.5×
+    /// the target rate so keyframe bursts do not slam the access queue.
+    pace_queue: std::collections::VecDeque<(usize, Wire)>,
+    pacing: bool,
+    rng: SimRng,
+    /// Viewing mode announced to the server.
+    pub mode: ViewMode,
+    recv: HashMap<u32, RecvStream>,
+    render: HashMap<u32, RenderState>,
+    /// Per-second WebRTC-style samples.
+    pub stats: StatsCollector,
+    /// FIRs received from remotes about this client's upstream (Fig 3b).
+    pub firs_received: u64,
+    max_requested_width: u32,
+    call_size: u32,
+    base_nominal: f64,
+    started_at: SimTime,
+    last_stats_frames: u64,
+    /// When the client joins the call (simulation of the paper's staggered
+    /// starts: competing applications enter ~30 s into the experiment).
+    pub join_at: SimTime,
+}
+
+impl VcaClient {
+    /// Build a client of `kind` with call index `index`, talking to `server`
+    /// over `uplink_flow`. The RNG seeds the source noise and any controller
+    /// jitter so repeated runs are reproducible.
+    pub fn new(
+        kind: VcaKind,
+        index: u32,
+        server: NodeId,
+        uplink_flow: FlowId,
+        mode: ViewMode,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut rng = rng.fork(&format!("client-{index}"));
+        let controller = match kind {
+            VcaKind::Meet => Controller::Gcc(GccController::new(kind.gcc_config())),
+            VcaKind::Zoom | VcaKind::ZoomChrome => {
+                let mut cfg = kind.fbra_config();
+                cfg.reprobe_jitter = 0.8 + 0.4 * rng.uniform();
+                Controller::Fbra(FbraController::new(cfg))
+            }
+            VcaKind::Teams | VcaKind::TeamsChrome => {
+                Controller::Teams(TeamsController::new(kind.teams_config(), &mut rng))
+            }
+        };
+        let base_nominal = match kind {
+            VcaKind::Teams => 1.65,
+            VcaKind::TeamsChrome => 1.10,
+            _ => 0.0,
+        };
+        let policy: Box<dyn EncoderPolicy> = match kind {
+            VcaKind::Meet => Box::new(MeetPolicy::default()),
+            VcaKind::Zoom | VcaKind::ZoomChrome => Box::new(vcabench_media::ZoomPolicy::default()),
+            VcaKind::Teams | VcaKind::TeamsChrome => {
+                Box::new(vcabench_media::TeamsPolicy::default())
+            }
+        };
+        VcaClient {
+            kind,
+            index,
+            server,
+            uplink_flow,
+            controller,
+            policy,
+            plans: Vec::new(),
+            sources: Vec::new(),
+            send_states: Vec::new(),
+            frame_timer_active: Vec::new(),
+            audio_send: RtpSendState::new(Self::ssrc_base(index) + 99),
+            fec_debt_bytes: 0.0,
+            fec_per_media: 0.0,
+            fec_send: RtpSendState::new(Self::ssrc_base(index) + 500),
+            pace_queue: std::collections::VecDeque::new(),
+            pacing: false,
+            rng,
+            mode,
+            recv: HashMap::new(),
+            render: HashMap::new(),
+            stats: StatsCollector::new(),
+            firs_received: 0,
+            max_requested_width: 640,
+            call_size: 2,
+            base_nominal,
+            started_at: SimTime::ZERO,
+            last_stats_frames: 0,
+            join_at: SimTime::ZERO,
+        }
+    }
+
+    /// Delay this client's join until `at`.
+    pub fn with_join_at(mut self, at: SimTime) -> Self {
+        self.join_at = at;
+        self
+    }
+
+    /// Enable/disable the Teams low-rate width-bug emulation (§3.2) on this
+    /// client — the counterfactual knob for the ablation experiments.
+    pub fn set_teams_width_bug(&mut self, enable: bool) {
+        self.policy.set_emulate_low_rate_bug(enable);
+    }
+
+    /// SSRC base of client `index`: streams are base+i, audio base+99.
+    pub fn ssrc_base(index: u32) -> u32 {
+        (index + 1) * 1000
+    }
+
+    /// Sender index that owns `ssrc` (server FEC streams map to u32::MAX).
+    pub fn sender_of(ssrc: u32) -> u32 {
+        if ssrc >= 1000 {
+            ssrc / 1000 - 1
+        } else {
+            u32::MAX
+        }
+    }
+
+    fn ensure_stream_state(&mut self, count: usize) {
+        while self.sources.len() < count {
+            let i = self.sources.len();
+            self.sources.push(vcabench_media::TalkingHeadSource::new(
+                self.rng.fork(&format!("source-{i}")),
+            ));
+            self.send_states
+                .push(RtpSendState::new(Self::ssrc_base(self.index) + i as u32));
+            self.frame_timer_active.push(false);
+        }
+    }
+
+    fn replan(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let target = self.controller.target_mbps();
+        let fec = self.controller.fec_fraction();
+        let media_budget = (target * (1.0 - fec)).max(0.02);
+        self.policy
+            .set_max_requested_width(self.max_requested_width);
+        self.plans = self.policy.plan(media_budget);
+        // FEC fills whatever the quantized plan left of the target.
+        let planned: f64 = self.plans.iter().map(|p| p.rate_mbps).sum();
+        self.fec_per_media = if fec > 0.0 && planned > 0.02 {
+            ((target - planned) / planned).clamp(0.0, 2.0)
+        } else {
+            0.0
+        };
+        self.ensure_stream_state(self.plans.len());
+        for i in 0..self.plans.len() {
+            if !self.frame_timer_active[i] {
+                self.frame_timer_active[i] = true;
+                ctx.set_timer_after(SimDuration::ZERO, TIMER_FRAME_BASE + i as u64);
+            }
+        }
+    }
+
+    fn emit_frame(&mut self, ctx: &mut Ctx<'_, Wire>, stream: usize) {
+        let Some(plan) = self.plans.get(stream).copied() else {
+            // Stream currently dropped: stop its timer and make sure it
+            // restarts with a keyframe (subscribers must resync).
+            if stream < self.frame_timer_active.len() {
+                self.frame_timer_active[stream] = false;
+                self.sources[stream].request_keyframe();
+            }
+            return;
+        };
+        let frame = self.sources[stream].next_frame(
+            plan.rate_mbps,
+            plan.params.fps,
+            plan.params.width,
+            plan.params.height,
+        );
+        let meta = FrameMeta {
+            width: plan.params.width,
+            height: plan.params.height,
+            fps: plan.params.fps,
+            qp: plan.params.qp,
+            keyframe: frame.keyframe,
+        };
+        let frame_id = self.send_states[stream].next_frame();
+        let ssrc = self.send_states[stream].ssrc;
+        let pkts = frame.bytes.div_ceil(RTP_PAYLOAD).max(1) as u16;
+        let mut remaining = frame.bytes;
+        for p in 0..pkts {
+            let payload = remaining.min(RTP_PAYLOAD);
+            remaining -= payload;
+            let seq = self.send_states[stream].next_seq();
+            let rtp = RtpPacket {
+                ssrc,
+                seq,
+                kind: StreamKind::Video,
+                layer: plan.layer,
+                frame_id,
+                marker: p + 1 == pkts,
+                frame_pkts: pkts,
+                is_fec: false,
+                is_retransmit: false,
+                capture_ts: ctx.now,
+                meta: Some(meta),
+            };
+            self.enqueue_paced(ctx, payload + RTP_HEADER + UDP_OVERHEAD, Wire::Rtp(rtp));
+        }
+        // Client-side FEC (Zoom): redundancy filling the target-to-plan gap,
+        // emitted as extra packets on a dedicated SSRC.
+        if self.fec_per_media > 0.0 {
+            self.fec_debt_bytes += frame.bytes as f64 * self.fec_per_media;
+            while self.fec_debt_bytes >= RTP_PAYLOAD as f64 {
+                self.fec_debt_bytes -= RTP_PAYLOAD as f64;
+                // FEC rides its own SSRC: middleboxes that strip it (Zoom's
+                // relay regenerates FEC server-side) must not leave sequence
+                // gaps in the media stream.
+                let fec_ssrc = self.fec_send.ssrc;
+                let fec_seq = self.fec_send.next_seq();
+                let rtp = RtpPacket {
+                    ssrc: fec_ssrc,
+                    seq: fec_seq,
+                    kind: StreamKind::Video,
+                    layer: plan.layer,
+                    frame_id,
+                    marker: false,
+                    frame_pkts: pkts,
+                    is_fec: true,
+                    is_retransmit: false,
+                    capture_ts: ctx.now,
+                    meta: None,
+                };
+                self.enqueue_paced(ctx, RTP_PAYLOAD + RTP_HEADER + UDP_OVERHEAD, Wire::Rtp(rtp));
+            }
+        }
+        // Schedule the next frame at the *current* plan's cadence.
+        let fps = plan.params.fps.max(1.0);
+        ctx.set_timer_after(
+            SimDuration::from_secs_f64(1.0 / fps),
+            TIMER_FRAME_BASE + stream as u64,
+        );
+    }
+
+    fn enqueue_paced(&mut self, ctx: &mut Ctx<'_, Wire>, size: usize, payload: Wire) {
+        self.pace_queue.push_back((size, payload));
+        if !self.pacing {
+            self.pacing = true;
+            ctx.set_timer_after(SimDuration::ZERO, TIMER_PACE);
+        }
+    }
+
+    fn pace_one(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let Some((size, mut payload)) = self.pace_queue.pop_front() else {
+            self.pacing = false;
+            return;
+        };
+        // Transport timestamps are taken at socket-write time: pacing delay
+        // must not masquerade as network one-way delay, or delay-based
+        // controllers (GCC) would react to their own pacer.
+        if let Wire::Rtp(rtp) = &mut payload {
+            rtp.capture_ts = ctx.now;
+        }
+        ctx.send(self.uplink_flow, self.server, size, payload);
+        if self.pace_queue.is_empty() {
+            self.pacing = false;
+        } else {
+            // Pace at 1.25x the controller target, never below 300 kbps so
+            // the queue always drains. (WebRTC's default factor is 2.5x, but
+            // a drop-tail bottleneck punishes the burstier of two competing
+            // flows disproportionately — with a high factor the simulated
+            // incumbent loses its share to a smoother newcomer within
+            // seconds, which real calls do not exhibit.)
+            let pace_mbps = (1.25 * self.controller.target_mbps()).max(0.3);
+            // ±30% spacing jitter: strictly periodic arrivals phase-lock
+            // with the bottleneck's drain pattern, letting one flow slip
+            // through a full queue while another eats every drop.
+            let jitter = self.rng.uniform_range(0.7, 1.3);
+            let next = SimDuration::from_secs_f64(size as f64 * 8.0 * jitter / (pace_mbps * 1e6));
+            ctx.set_timer_after(next, TIMER_PACE);
+        }
+    }
+
+    fn emit_audio(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // 0.04 Mbps at 20 ms cadence = 100 payload bytes per packet.
+        let payload =
+            (self.kind.audio_rate_mbps() * 1e6 / 8.0 * AUDIO_INTERVAL.as_secs_f64()) as usize;
+        let rtp = RtpPacket {
+            ssrc: self.audio_send.ssrc,
+            seq: self.audio_send.next_seq(),
+            kind: StreamKind::Audio,
+            layer: Default::default(),
+            frame_id: 0,
+            marker: true,
+            frame_pkts: 1,
+            is_fec: false,
+            is_retransmit: false,
+            capture_ts: ctx.now,
+            meta: None,
+        };
+        ctx.send(
+            self.uplink_flow,
+            self.server,
+            payload + RTP_HEADER + UDP_OVERHEAD,
+            Wire::Rtp(rtp),
+        );
+        ctx.set_timer_after(AUDIO_INTERVAL, TIMER_AUDIO);
+    }
+
+    fn send_receiver_report(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // Aggregate all inbound SSRCs into one downlink report.
+        let mut received = 0u64;
+        let mut lost = 0u64;
+        let mut bytes = 0u64;
+        let mut owd_min = f64::INFINITY;
+        for rs in self.recv.values_mut() {
+            let s = rs.rtp.take_interval();
+            received += s.received;
+            lost += s.lost;
+            bytes += s.bytes;
+            if s.received > 0 {
+                owd_min = owd_min.min(s.min_owd_ms);
+            }
+        }
+        if received + lost == 0 {
+            ctx.set_timer_after(TICK, TIMER_RTCP);
+            return;
+        }
+        let owd = if owd_min.is_finite() { owd_min } else { 0.0 };
+        let report = ReceiverReport {
+            ssrc: 0,
+            loss_fraction: lost as f64 / (received + lost) as f64,
+            receive_rate_mbps: bytes as f64 * 8.0 / TICK.as_secs_f64() / 1e6,
+            one_way_delay_ms: owd,
+            rtt_ms: 2.0 * owd,
+            fec_recovered_fraction: 0.0,
+            remb_mbps: None,
+            max_requested_width: self.max_requested_width,
+            call_size: self.call_size,
+        };
+        let size = RtcpPacket::Report(report).wire_size();
+        ctx.send(
+            self.uplink_flow,
+            self.server,
+            size,
+            Wire::Rtcp(RtcpPacket::Report(report)),
+        );
+        ctx.set_timer_after(TICK, TIMER_RTCP);
+    }
+
+    fn sample_stats(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let top = self.plans.last();
+        // Primary rendered remote: lowest sender index that isn't us.
+        let primary = self
+            .render
+            .keys()
+            .copied()
+            .filter(|&s| s != self.index)
+            .min();
+        let (recv_fps, freeze_time, freeze_count, firs_sent) = match primary {
+            Some(p) => {
+                let r = &self.render[&p];
+                let fps = (r.freeze.frames - self.last_stats_frames) as f64;
+                self.last_stats_frames = r.freeze.frames;
+                (
+                    fps,
+                    r.freeze.freeze_time,
+                    r.freeze.freeze_count,
+                    r.fir.count,
+                )
+            }
+            None => (0.0, SimDuration::ZERO, 0, 0),
+        };
+        let fresh = SimDuration::from_millis(1200);
+        let (recv_width, recv_qp) = self
+            .recv
+            .values()
+            .filter(|rs| ctx.now.saturating_since(rs.last_arrival) < fresh)
+            .filter_map(|rs| rs.last_meta)
+            .map(|m| (m.width, m.qp))
+            .max_by_key(|&(w, _)| w)
+            .unwrap_or((0, 0.0));
+        self.stats.push(StatsSample {
+            t: ctx.now,
+            target_mbps: self.controller.target_mbps(),
+            send_width: top.map(|p| p.params.width).unwrap_or(0),
+            send_fps: top.map(|p| p.params.fps).unwrap_or(0.0),
+            send_qp: top.map(|p| p.params.qp).unwrap_or(0.0),
+            recv_width,
+            recv_fps,
+            recv_qp,
+            freeze_time,
+            freeze_count,
+            firs_sent,
+            firs_received: self.firs_received,
+        });
+        ctx.set_timer_after(SimDuration::from_secs(1), TIMER_STATS);
+    }
+
+    fn on_rtp(&mut self, ctx: &mut Ctx<'_, Wire>, pkt: &Packet<Wire>, rtp: &RtpPacket) {
+        let rs = self.recv.entry(rtp.ssrc).or_insert_with(|| RecvStream {
+            rtp: RtpRecvState::new(),
+            // All VCA streams in the model may be temporally thinned by the
+            // server (Meet mid-rate, Teams large calls), so odd-frame gaps
+            // must not break the reference chain.
+            assembler: FrameAssembler::new().with_temporal_thinning(),
+            last_meta: None,
+            last_arrival: ctx.now,
+        });
+        rs.last_arrival = ctx.now;
+        let prev_highest = rs.rtp.highest_seq();
+        rs.rtp.on_packet(ctx.now, rtp, pkt.size);
+        // NACK sequence gaps on media streams (WebRTC-style retransmission;
+        // the SFU answers from its per-subscriber buffer). Capped per event.
+        if rtp.kind == StreamKind::Video && !rtp.is_fec && !rtp.is_retransmit {
+            if let Some(h) = prev_highest {
+                if rtp.seq > h + 1 {
+                    for missing in (h + 1..rtp.seq).take(10) {
+                        let nack = RtcpPacket::Nack {
+                            ssrc: rtp.ssrc,
+                            seq: missing,
+                        };
+                        ctx.send(
+                            self.uplink_flow,
+                            self.server,
+                            nack.wire_size(),
+                            Wire::Rtcp(nack),
+                        );
+                    }
+                }
+            }
+        }
+        if rtp.kind != StreamKind::Video || rtp.is_fec {
+            return;
+        }
+        if let Some(m) = rtp.meta {
+            rs.last_meta = Some(m);
+        }
+        let ev = rs.assembler.on_packet(ctx.now, rtp, pkt.size);
+        let needs_kf = rs.assembler.needs_keyframe;
+        let sender = Self::sender_of(rtp.ssrc);
+        let render = self.render.entry(sender).or_insert_with(|| RenderState {
+            freeze: FreezeDetector::new(30.0),
+            // 1 s hold-off: long enough that a starved receiver does not
+            // force keyframes worth seconds of bitrate budget, short enough
+            // that decode recovery does not add whole seconds of freeze.
+            fir: FirTracker::new(SimDuration::from_millis(1000)),
+            frames_total: 0,
+        });
+        if let vcabench_media::AssembleEvent::FrameComplete { .. } = ev {
+            render.freeze.on_frame(ctx.now);
+            render.frames_total += 1;
+        }
+        if needs_kf {
+            if let Some(fir) = render.fir.request(ctx.now, rtp.ssrc) {
+                let size = fir.wire_size();
+                ctx.send(self.uplink_flow, self.server, size, Wire::Rtcp(fir));
+            }
+        }
+    }
+
+    fn on_rtcp(&mut self, ctx: &mut Ctx<'_, Wire>, rtcp: &RtcpPacket) {
+        match rtcp {
+            RtcpPacket::Report(r) => {
+                self.max_requested_width = r.max_requested_width;
+                self.call_size = r.call_size;
+                // Teams' pinned-sender anomaly (§6.2): uplink grows with the
+                // call size when pinned, far beyond the other VCAs.
+                if let Controller::Teams(t) = &mut self.controller {
+                    if r.max_requested_width >= 1000 && self.call_size >= 3 {
+                        t.set_nominal(0.65 + 0.28 * self.call_size as f64);
+                    } else {
+                        t.set_nominal(self.base_nominal);
+                    }
+                }
+                // Zoom's encoder ceiling follows the layout demand: pinned
+                // senders push ~1 Mbps (§6.2); small tiles cap the SVC stack
+                // (the n=5 uplink cliff of Fig 15b). Without lowering the
+                // *controller* ceiling, FEC padding would fill the gap the
+                // layer cap opened.
+                if let Controller::Fbra(f) = &mut self.controller {
+                    let w = r.max_requested_width;
+                    let ceiling = if w >= 1000 {
+                        1.0
+                    } else if w >= 600 {
+                        0.68
+                    } else if w >= 350 {
+                        0.40
+                    } else {
+                        0.10
+                    };
+                    f.set_media_max(ceiling);
+                }
+                let fb = FeedbackReport {
+                    now: ctx.now,
+                    loss_fraction: r.loss_fraction,
+                    receive_rate_mbps: r.receive_rate_mbps,
+                    one_way_delay_ms: r.one_way_delay_ms,
+                    rtt: SimDuration::from_secs_f64((r.rtt_ms / 1000.0).max(0.001)),
+                    fec_recovered_fraction: r.fec_recovered_fraction,
+                };
+                self.controller.on_report(&fb);
+                // SFU-provided ceiling (Meet REMB): never encode more than
+                // the most demanding subscriber can take.
+                if let Some(remb) = r.remb_mbps {
+                    if let Controller::Gcc(_) = self.controller {
+                        self.controller.set_bounds(0.05, remb.clamp(0.1, 0.96));
+                    }
+                }
+            }
+            RtcpPacket::Nack { .. } => {
+                // Retransmissions are handled at the SFU (which owns the
+                // egress sequence space); a client never serves NACKs.
+            }
+            RtcpPacket::Fir { ssrc, .. } => {
+                self.firs_received += 1;
+                let base = Self::ssrc_base(self.index);
+                let idx = ssrc.saturating_sub(base) as usize;
+                if let Some(src) = self.sources.get_mut(idx) {
+                    src.request_keyframe();
+                }
+            }
+        }
+    }
+
+    /// Total frames decoded from remote sender `sender`.
+    pub fn frames_decoded_from(&self, sender: u32) -> u64 {
+        self.render
+            .get(&sender)
+            .map(|r| r.frames_total)
+            .unwrap_or(0)
+    }
+
+    /// Freeze detector of the primary rendered remote, if any.
+    pub fn primary_freeze(&self) -> Option<&FreezeDetector> {
+        self.render
+            .keys()
+            .copied()
+            .filter(|&s| s != self.index)
+            .min()
+            .map(|p| &self.render[&p].freeze)
+    }
+
+    /// Call duration so far at time `now`.
+    pub fn call_duration(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.started_at)
+    }
+}
+
+impl Agent<Wire> for VcaClient {
+    fn start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if self.join_at > ctx.now {
+            ctx.set_timer_at(self.join_at, TIMER_BOOT);
+            return;
+        }
+        self.boot(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Wire>, pkt: Packet<Wire>) {
+        if ctx.now < self.join_at {
+            return;
+        }
+        match &pkt.payload {
+            Wire::Rtp(rtp) => {
+                let rtp = rtp.clone();
+                self.on_rtp(ctx, &pkt, &rtp);
+            }
+            Wire::Rtcp(rtcp) => {
+                let rtcp = *rtcp;
+                self.on_rtcp(ctx, &rtcp);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, timer: u64) {
+        match timer {
+            TIMER_BOOT => self.boot(ctx),
+            TIMER_RTCP => self.send_receiver_report(ctx),
+            TIMER_PACE => self.pace_one(ctx),
+            TIMER_AUDIO => self.emit_audio(ctx),
+            TIMER_STATS => self.sample_stats(ctx),
+            TIMER_REPLAN => {
+                self.replan(ctx);
+                ctx.set_timer_after(TICK, TIMER_REPLAN);
+            }
+            t if t >= TIMER_FRAME_BASE => self.emit_frame(ctx, (t - TIMER_FRAME_BASE) as usize),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl VcaClient {
+    fn boot(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        self.started_at = ctx.now;
+        let pinned = match self.mode {
+            ViewMode::Gallery => None,
+            ViewMode::Speaker(p) => Some(p),
+        };
+        ctx.send(
+            self.uplink_flow,
+            self.server,
+            80,
+            Wire::Signal(SignalMsg::Layout { pinned }),
+        );
+        self.replan(ctx);
+        ctx.set_timer_after(TICK, TIMER_RTCP);
+        ctx.set_timer_after(AUDIO_INTERVAL, TIMER_AUDIO);
+        ctx.set_timer_after(SimDuration::from_secs(1), TIMER_STATS);
+        ctx.set_timer_after(TICK, TIMER_REPLAN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssrc_mapping_round_trips() {
+        for idx in 0..32u32 {
+            let base = VcaClient::ssrc_base(idx);
+            // Every stream ssrc (media, fec, audio) maps back to its sender.
+            for off in [0, 1, 2, 99, 500] {
+                assert_eq!(VcaClient::sender_of(base + off), idx, "offset {off}");
+            }
+        }
+        // Server-generated FEC ssrcs (< 1000) have no sender.
+        assert_eq!(VcaClient::sender_of(100), u32::MAX);
+        assert_eq!(VcaClient::sender_of(0), u32::MAX);
+    }
+
+    #[test]
+    fn controller_kind_matches_vca() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let server = vcabench_netsim::NodeId(9);
+        let mk = |kind, rng: &mut SimRng| {
+            VcaClient::new(kind, 0, server, vcabench_netsim::FlowId(1), ViewMode::Gallery, rng)
+        };
+        assert!(matches!(mk(VcaKind::Meet, &mut rng).controller, Controller::Gcc(_)));
+        assert!(matches!(mk(VcaKind::Zoom, &mut rng).controller, Controller::Fbra(_)));
+        assert!(matches!(
+            mk(VcaKind::ZoomChrome, &mut rng).controller,
+            Controller::Fbra(_)
+        ));
+        assert!(matches!(
+            mk(VcaKind::Teams, &mut rng).controller,
+            Controller::Teams(_)
+        ));
+        assert!(matches!(
+            mk(VcaKind::TeamsChrome, &mut rng).controller,
+            Controller::Teams(_)
+        ));
+    }
+
+    #[test]
+    fn join_delay_is_stored() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let c = VcaClient::new(
+            VcaKind::Meet,
+            0,
+            vcabench_netsim::NodeId(9),
+            vcabench_netsim::FlowId(1),
+            ViewMode::Gallery,
+            &mut rng,
+        )
+        .with_join_at(SimTime::from_secs(30));
+        assert_eq!(c.join_at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn two_clients_same_seed_same_rng_streams() {
+        // Client construction forks the experiment RNG by index, so two
+        // builds from identical parent state are identical.
+        let mut rng_a = SimRng::seed_from_u64(7);
+        let mut rng_b = SimRng::seed_from_u64(7);
+        let a = VcaClient::new(
+            VcaKind::Teams,
+            0,
+            vcabench_netsim::NodeId(9),
+            vcabench_netsim::FlowId(1),
+            ViewMode::Gallery,
+            &mut rng_a,
+        );
+        let b = VcaClient::new(
+            VcaKind::Teams,
+            0,
+            vcabench_netsim::NodeId(9),
+            vcabench_netsim::FlowId(1),
+            ViewMode::Gallery,
+            &mut rng_b,
+        );
+        // Same oscillator phase → same set-point trajectory.
+        if let (Controller::Teams(x), Controller::Teams(y)) = (&a.controller, &b.controller) {
+            let t = SimTime::from_secs(13);
+            assert_eq!(x.setpoint_mbps(t).to_bits(), y.setpoint_mbps(t).to_bits());
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! VCA identities and per-application parameters (§2.2).
+//!
+//! The paper studies three applications, two of which ship both a native
+//! desktop client and an in-browser (Chrome/WebRTC) client with measurably
+//! different behaviour (Fig 1c): at 1 Mbps uplink shaping, Teams-native used
+//! 0.84 Mbps where Teams-Chrome used only 0.61 Mbps; Zoom's two clients were
+//! indistinguishable.
+
+use vcabench_congestion::{FbraConfig, GccConfig, TeamsConfig};
+use vcabench_simcore::SimDuration;
+
+/// Which application (and client variant) a simulated client runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VcaKind {
+    /// Zoom native desktop client.
+    Zoom,
+    /// Zoom in Chrome (DataChannel transport; network behaviour matches the
+    /// native client per Fig 1c).
+    ZoomChrome,
+    /// Google Meet (always in Chrome; WebRTC/GCC).
+    Meet,
+    /// Microsoft Teams native desktop client.
+    Teams,
+    /// Microsoft Teams in Chrome: lower target bitrates and a more timid
+    /// controller than the native client.
+    TeamsChrome,
+}
+
+impl VcaKind {
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            VcaKind::Zoom => "Zoom",
+            VcaKind::ZoomChrome => "Zoom-Chrome",
+            VcaKind::Meet => "Meet",
+            VcaKind::Teams => "Teams",
+            VcaKind::TeamsChrome => "Teams-Chrome",
+        }
+    }
+
+    /// The three base applications, native variants.
+    pub const NATIVE: [VcaKind; 3] = [VcaKind::Meet, VcaKind::Teams, VcaKind::Zoom];
+
+    /// True for the WebRTC-in-Chrome clients whose stats the paper can read
+    /// (§3.2: Meet and Teams-Chrome; Zoom-Chrome uses DataChannels and
+    /// exposes no video-quality metrics).
+    pub fn has_webrtc_stats(self) -> bool {
+        matches!(self, VcaKind::Meet | VcaKind::TeamsChrome)
+    }
+
+    /// Whether the server-side component performs rate adaptation
+    /// (Meet's simulcast SFU, Zoom's SVC SFU) or is a pure relay (Teams).
+    pub fn server_adapts(self) -> bool {
+        matches!(self, VcaKind::Meet | VcaKind::Zoom | VcaKind::ZoomChrome)
+    }
+
+    /// GCC configuration for Meet clients.
+    pub fn gcc_config(self) -> GccConfig {
+        GccConfig {
+            start_mbps: 0.3,
+            min_mbps: 0.05,
+            // Encoder ceiling: low (0.19) + high (0.76) simulcast streams.
+            max_mbps: 0.96,
+            ..GccConfig::default()
+        }
+    }
+
+    /// FBRA configuration for Zoom clients.
+    pub fn fbra_config(self) -> FbraConfig {
+        FbraConfig::default()
+    }
+
+    /// Teams controller configuration (native vs. Chrome differ).
+    pub fn teams_config(self) -> TeamsConfig {
+        match self {
+            VcaKind::TeamsChrome => TeamsConfig {
+                nominal_mbps: 1.10,
+                osc_amplitude_mbps: 0.18,
+                backoff_factor: 0.5,
+                slow_phase: SimDuration::from_secs(12),
+                slow_mbps_per_s: 0.015,
+                fast_per_s: 0.10,
+                ..TeamsConfig::default()
+            },
+            _ => TeamsConfig::default(),
+        }
+    }
+
+    /// Audio stream rate, Mbps (Opus-like constant bitrate).
+    pub fn audio_rate_mbps(self) -> f64 {
+        0.04
+    }
+
+    /// Zoom's relay adds FEC on the server→client path; the paper measures
+    /// the resulting downstream/upstream asymmetry in Table 2
+    /// (up 0.78 vs down 0.95 Mbps ⇒ ~30–40 % server-side redundancy).
+    pub fn server_fec_ratio(self) -> f64 {
+        match self {
+            VcaKind::Zoom | VcaKind::ZoomChrome => 0.30,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(VcaKind::Zoom.name(), "Zoom");
+        assert_eq!(VcaKind::TeamsChrome.name(), "Teams-Chrome");
+    }
+
+    #[test]
+    fn webrtc_stats_availability() {
+        assert!(VcaKind::Meet.has_webrtc_stats());
+        assert!(VcaKind::TeamsChrome.has_webrtc_stats());
+        assert!(!VcaKind::Zoom.has_webrtc_stats());
+        assert!(!VcaKind::ZoomChrome.has_webrtc_stats());
+        assert!(!VcaKind::Teams.has_webrtc_stats());
+    }
+
+    #[test]
+    fn server_roles() {
+        assert!(VcaKind::Meet.server_adapts());
+        assert!(VcaKind::Zoom.server_adapts());
+        assert!(!VcaKind::Teams.server_adapts());
+        assert!(!VcaKind::TeamsChrome.server_adapts());
+    }
+
+    #[test]
+    fn chrome_teams_is_more_timid() {
+        let native = VcaKind::Teams.teams_config();
+        let chrome = VcaKind::TeamsChrome.teams_config();
+        assert!(chrome.nominal_mbps < native.nominal_mbps);
+        assert!(chrome.backoff_factor < native.backoff_factor);
+    }
+
+    #[test]
+    fn only_zoom_has_server_fec() {
+        assert!(VcaKind::Zoom.server_fec_ratio() > 0.2);
+        assert_eq!(VcaKind::Meet.server_fec_ratio(), 0.0);
+        assert_eq!(VcaKind::Teams.server_fec_ratio(), 0.0);
+    }
+}

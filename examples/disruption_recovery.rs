@@ -1,0 +1,73 @@
+//! Disruption and recovery: the §4 experiment as a visual timeline.
+//!
+//! A five-minute call; at t=60 s the uplink collapses to 0.25 Mbps for 30
+//! seconds. The ASCII strip chart shows each VCA's recovery personality:
+//! Teams' slow-then-fast climb, Zoom's stepwise probe ladder overshooting
+//! its nominal rate, Meet's steady return.
+//!
+//! ```text
+//! cargo run --release --example disruption_recovery
+//! ```
+
+use vcabench::prelude::*;
+use vcabench::stats::time_to_recovery;
+
+fn main() {
+    let start = SimTime::from_secs(60);
+    let length = SimDuration::from_secs(30);
+    println!("30 s uplink disruption to 0.25 Mbps at t=60 s (each char = 2 s, rows to 2.2 Mbps)\n");
+    for kind in [VcaKind::Meet, VcaKind::Teams, VcaKind::Zoom] {
+        let up = RateProfile::disruption(1000e6, 0.25e6, start, length);
+        let out = run_two_party(
+            kind,
+            up,
+            RateProfile::constant_mbps(1000.0),
+            SimDuration::from_secs(300),
+            2,
+        );
+        // Downsample the 100 ms series to 2 s buckets.
+        let buckets: Vec<f64> = out
+            .up_series
+            .chunks(20)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        let ttr = time_to_recovery(
+            &out.up_series,
+            SimDuration::from_millis(100),
+            start,
+            start + length,
+        );
+        println!(
+            "{} — nominal {:.2} Mbps, time to recovery {}",
+            kind.name(),
+            ttr.nominal_mbps,
+            ttr.ttr
+                .map(|d| format!("{:.1} s", d.as_secs_f64()))
+                .unwrap_or_else(|| "not within call".into())
+        );
+        // 6 rows, top = 2.2 Mbps.
+        let rows = 6;
+        let top = 2.2;
+        for row in (0..rows).rev() {
+            let lo = top * row as f64 / rows as f64;
+            let line: String = buckets
+                .iter()
+                .map(|&v| if v > lo { '█' } else { ' ' })
+                .collect();
+            println!("{lo:>5.1} |{line}");
+        }
+        let marker: String = (0..buckets.len())
+            .map(|i| {
+                let t = i as f64 * 2.0;
+                if (60.0..90.0).contains(&t) {
+                    'x'
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        println!("      +{marker}  (x = shaped window)\n");
+    }
+    println!("Paper shapes: every VCA needs >20 s to recover from the 0.25 Mbps drop;");
+    println!("Zoom keeps climbing past its nominal rate (probe ladder) before settling.");
+}

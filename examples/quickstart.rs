@@ -1,0 +1,61 @@
+//! Quickstart: run one simulated two-party call per VCA on a shaped uplink
+//! and print what each application made of it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vcabench::prelude::*;
+
+fn main() {
+    println!("vcabench quickstart — 90 s two-party calls, 1 Mbps uplink cap on C1\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "VCA", "sent Mbps", "recv Mbps", "width", "fps", "frames"
+    );
+    for kind in [
+        VcaKind::Meet,
+        VcaKind::Teams,
+        VcaKind::TeamsChrome,
+        VcaKind::Zoom,
+        VcaKind::ZoomChrome,
+    ] {
+        let mut call = two_party_call(
+            kind,
+            RateProfile::constant_mbps(1.0),    // shaped uplink
+            RateProfile::constant_mbps(1000.0), // open downlink
+            42,
+        );
+        call.net.run_until(SimTime::from_secs(90));
+
+        let t0 = SimTime::from_secs(30);
+        let t1 = SimTime::from_secs(90);
+        let sent = call
+            .net
+            .link(call.topo.c1_up)
+            .traces
+            .total()
+            .rate_mbps_between(t0, t1);
+        let recv = call
+            .net
+            .link(call.topo.c1_down)
+            .traces
+            .total()
+            .rate_mbps_between(t0, t1);
+        let c1: &VcaClient = call.net.agent(call.topo.c1);
+        let last = c1.stats.samples().last().expect("stats sampled");
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>9} {:>9.0} {:>8}",
+            kind.name(),
+            sent,
+            recv,
+            last.send_width,
+            last.send_fps,
+            c1.frames_decoded_from(1),
+        );
+    }
+    println!("\nColumns: what C1 sent/received on its access link over the last minute,");
+    println!("the resolution/frame rate its encoder settled on, and frames decoded from C2.");
+    println!("Compare with the paper: on a 1 Mbps uplink Teams-native used ~0.84 Mbps,");
+    println!("Teams-Chrome only ~0.61; Meet and Zoom sat below their ~1 Mbps nominals.");
+}

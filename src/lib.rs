@@ -1,0 +1,78 @@
+//! # vcabench
+//!
+//! A deterministic, packet-level reproduction of *"Measuring the Performance
+//! and Network Utilization of Popular Video Conferencing Applications"*
+//! (MacMillan, Saxon, Mangla, Feamster — IMC 2021).
+//!
+//! The paper measures the real Zoom, Google Meet, and Microsoft Teams
+//! clients in a shaped laboratory network. This crate replaces every piece
+//! of that laboratory with an executable model — a discrete-event packet
+//! simulator, RTP/RTCP/TCP transports, the three VCAs' congestion
+//! controllers and media pipelines, their relay/SFU servers, and the
+//! competing applications (iPerf3, Netflix, YouTube) — and regenerates all
+//! of the paper's tables and figures on top of it.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vcabench::prelude::*;
+//!
+//! // A 30-second two-party Zoom call with a 1 Mbps uplink cap on client 1.
+//! let mut call = two_party_call(
+//!     VcaKind::Zoom,
+//!     RateProfile::constant_mbps(1.0),
+//!     RateProfile::constant_mbps(1000.0),
+//!     42,
+//! );
+//! call.net.run_until(SimTime::from_secs(30));
+//! let sent = call
+//!     .net
+//!     .link(call.topo.c1_up)
+//!     .traces
+//!     .total()
+//!     .rate_mbps_between(SimTime::from_secs(10), SimTime::from_secs(30));
+//! assert!(sent > 0.5, "Zoom should fill most of a 1 Mbps uplink: {sent}");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`simcore`] | virtual time, event queue, seeded RNG |
+//! | [`netsim`] | packets, links, `tc`-style shaping, topologies, traces |
+//! | [`transport`] | RTP/RTCP, FEC, TCP CUBIC, QUIC-lite |
+//! | [`congestion`] | GCC (Meet), FBRA-style (Zoom), conservative (Teams) |
+//! | [`media`] | codec rate model, adaptation policies, simulcast/SVC, freezes |
+//! | [`vca`] | clients, SFU/relay servers, calls, layouts, WebRTC-style stats |
+//! | [`apps`] | iPerf3, Netflix, YouTube |
+//! | [`stats`] | medians/CIs, time-to-recovery, link shares |
+//! | [`harness`] | one module per paper table/figure + the `repro` binary |
+//!
+//! Reproduce everything: `cargo run --release -p vcabench-harness --bin repro -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vcabench_apps as apps;
+pub use vcabench_congestion as congestion;
+pub use vcabench_harness as harness;
+pub use vcabench_media as media;
+pub use vcabench_netsim as netsim;
+pub use vcabench_simcore as simcore;
+pub use vcabench_stats as stats;
+pub use vcabench_transport as transport;
+pub use vcabench_vca as vca;
+
+/// The most common imports for building and measuring simulated calls.
+pub mod prelude {
+    pub use vcabench_harness::{
+        run_competition, run_multiparty, run_two_party, CompetitionConfig, Competitor,
+        TwoPartyOutcome,
+    };
+    pub use vcabench_netsim::{LinkConfig, Network, RateProfile};
+    pub use vcabench_simcore::{SimDuration, SimRng, SimTime};
+    pub use vcabench_transport::Wire;
+    pub use vcabench_vca::{
+        multiparty_call, two_party_call, wire_call, wire_call_at, VcaClient, VcaKind, ViewMode,
+    };
+}

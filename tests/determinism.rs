@@ -1,0 +1,58 @@
+//! Cross-crate integration: determinism guarantees of the whole pipeline.
+//!
+//! Every experiment must be exactly reproducible from its seed — this is
+//! what makes the regenerated tables and figures meaningful.
+
+use vcabench::prelude::*;
+
+fn run_once(seed: u64) -> (Vec<f64>, u64) {
+    let mut call = two_party_call(
+        VcaKind::Zoom,
+        RateProfile::constant_mbps(1.0),
+        RateProfile::constant_mbps(1000.0),
+        seed,
+    );
+    call.net.run_until(SimTime::from_secs(40));
+    let series = call
+        .net
+        .link(call.topo.c1_up)
+        .traces
+        .total()
+        .series_mbps(SimTime::from_secs(40));
+    let c1: &VcaClient = call.net.agent(call.topo.c1);
+    (series, c1.frames_decoded_from(1))
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let (a_series, a_frames) = run_once(7);
+    let (b_series, b_frames) = run_once(7);
+    assert_eq!(a_frames, b_frames);
+    assert_eq!(a_series.len(), b_series.len());
+    for (i, (x, y)) in a_series.iter().zip(&b_series).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "series diverged at bin {i}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (a_series, _) = run_once(7);
+    let (b_series, _) = run_once(8);
+    let identical = a_series
+        .iter()
+        .zip(&b_series)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(!identical, "different seeds must perturb the source noise");
+}
+
+#[test]
+fn competition_runs_are_deterministic() {
+    let cfg = CompetitionConfig::paper(VcaKind::Meet, Competitor::IperfUp, 2.0, 3);
+    let a = vcabench::harness::run_competition(&cfg);
+    let b = vcabench::harness::run_competition(&cfg);
+    let ra =
+        TwoPartyOutcome::rate_between(&a.inc_up, SimTime::from_secs(60), SimTime::from_secs(120));
+    let rb =
+        TwoPartyOutcome::rate_between(&b.inc_up, SimTime::from_secs(60), SimTime::from_secs(120));
+    assert_eq!(ra.to_bits(), rb.to_bits());
+}
