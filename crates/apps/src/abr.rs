@@ -201,6 +201,43 @@ mod tests {
     }
 
     #[test]
+    fn quality_switches_follow_throughput() {
+        // Drive estimator + picker through a bandwidth collapse and
+        // recovery: the selected ladder level must ratchet down within a
+        // few slow segments and climb back once downloads speed up again.
+        let mut e = ThroughputEstimator::new();
+        // Five fast segments: 3 MB in 4 s = 6 Mbps → top level (4.0 Mbps).
+        for _ in 0..5 {
+            e.on_download(3_000_000, SimDuration::from_secs(4));
+        }
+        assert_eq!(pick_level(&DEFAULT_LEVELS, e.estimate_mbps()), 4);
+        // Collapse: 250 kB in 4 s = 0.5 Mbps. The EWMA (0.6 retain) needs a
+        // handful of samples to converge; after six the pick must be at the
+        // bottom of the ladder.
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            e.on_download(250_000, SimDuration::from_secs(4));
+            picks.push(pick_level(&DEFAULT_LEVELS, e.estimate_mbps()));
+        }
+        assert_eq!(
+            *picks.last().unwrap(),
+            0,
+            "picks during collapse: {picks:?}"
+        );
+        // The downswitch is monotone — no upward flapping mid-collapse.
+        assert!(picks.windows(2).all(|w| w[1] <= w[0]), "{picks:?}");
+        // Recovery: fast segments again restore a high level.
+        for _ in 0..6 {
+            e.on_download(3_000_000, SimDuration::from_secs(4));
+        }
+        assert!(
+            pick_level(&DEFAULT_LEVELS, e.estimate_mbps()) >= 3,
+            "recovered estimate {}",
+            e.estimate_mbps()
+        );
+    }
+
+    #[test]
     fn estimator_ewma() {
         let mut e = ThroughputEstimator::new();
         assert_eq!(e.estimate_mbps(), DEFAULT_LEVELS[0]);

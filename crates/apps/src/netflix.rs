@@ -184,6 +184,14 @@ impl NetflixClient {
             for c in stuck {
                 if let Some(d) = self.downloads.remove(&c) {
                     self.bytes_downloaded += d.receiver.bytes_received;
+                    // An abandoned download is still a throughput sample —
+                    // without it a client primed at high quality would keep
+                    // requesting segments it can never finish and the
+                    // ladder level would stay pinned high forever.
+                    self.est.on_download(
+                        d.receiver.bytes_received,
+                        ctx.now.saturating_since(d.started_at),
+                    );
                     if !refetch.contains(&d.segment) {
                         refetch.push(d.segment);
                     }
@@ -302,11 +310,15 @@ mod tests {
     use vcabench_netsim::{LinkConfig, Network, RateProfile};
 
     fn stream_net(down_mbps: f64) -> (Network<Wire>, NodeId, NodeId) {
+        stream_net_with(RateProfile::constant_mbps(down_mbps))
+    }
+
+    fn stream_net_with(profile: RateProfile) -> (Network<Wire>, NodeId, NodeId) {
         let mut net: Network<Wire> = Network::new();
         let client = net.add_node();
         let server = net.add_node();
         let down = LinkConfig::mbps(1.0, SimDuration::from_millis(15))
-            .with_profile(RateProfile::constant_mbps(down_mbps))
+            .with_profile(profile)
             .with_queue_bytes(32 * 1024);
         let l_down = net.add_link(server, client, down);
         let l_up = net.add_link(
@@ -339,6 +351,38 @@ mod tests {
         assert!(c.bytes_downloaded > 4_000_000);
         // One connection per segment, no starvation fan-out.
         assert!(c.starved_score <= 1);
+    }
+
+    #[test]
+    fn buffer_drains_and_rebuffers_after_collapse() {
+        // 30 s at 20 Mbps builds the playback buffer toward its 20 s
+        // target; then the link collapses to 0.02 Mbps — far below even the
+        // bottom ladder level — so playback drains the buffer at 1 s/s and
+        // the client must eventually rebuffer and pin the quality floor.
+        let profile = RateProfile::constant_mbps(20.0).step(SimTime::from_secs(30), 0.02 * 1e6);
+        let (mut net, client, server) = stream_net_with(profile);
+        net.set_agent(
+            client,
+            Box::new(NetflixClient::new(server, FlowId(1), SimTime::ZERO, None)),
+        );
+        net.set_agent(server, Box::new(AbrServer::new(FlowId(2))));
+        net.run_until(SimTime::from_secs(30));
+        let buffer_at_collapse = {
+            let c: &NetflixClient = net.agent(client);
+            assert!(c.buffer_s > 10.0, "buffer built first: {}", c.buffer_s);
+            assert_eq!(c.rebuffers, 0, "healthy phase must not rebuffer");
+            c.buffer_s
+        };
+        net.run_until(SimTime::from_secs(120));
+        let c: &NetflixClient = net.agent(client);
+        assert!(
+            c.buffer_s < buffer_at_collapse / 2.0,
+            "buffer drained: {} -> {}",
+            buffer_at_collapse,
+            c.buffer_s
+        );
+        assert!(c.rebuffers >= 1, "starved playback rebuffers");
+        assert_eq!(c.level(), 0, "quality pinned at the ladder floor");
     }
 
     #[test]

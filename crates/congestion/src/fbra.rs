@@ -242,8 +242,11 @@ impl RateController for FbraController {
                 }
             }
             State::Ramp => {
-                if r.loss_fraction > 0.05 {
-                    // Capacity found during the climb.
+                if self.lossy_reports >= 2 {
+                    // Capacity found during the climb. Two consecutive lossy
+                    // reports are required (as in Probe): a single noisy
+                    // report under low *random* loss — which FEC repairs —
+                    // must not anchor the target below nominal.
                     self.capacity_estimate = Some(r.receive_rate_mbps.max(self.cfg.min_mbps));
                     self.target = (r.receive_rate_mbps * 0.97).max(self.cfg.min_mbps);
                     self.enter(State::Stay, r.now);
@@ -335,7 +338,11 @@ impl RateController for FbraController {
                             .map(|c| 0.9 * c + 0.1 * r.receive_rate_mbps)
                             .unwrap_or(r.receive_rate_mbps),
                     );
-                } else if self.loss_ema < 0.02 {
+                } else if self.loss_ema < 0.05 {
+                    // Loss at or below the steady FEC budget is repaired
+                    // transparently, so the controller treats the link as
+                    // clean — random loss of a couple percent must not park
+                    // the target in a dead zone below nominal.
                     // A post-disruption recovery that reached Stay early
                     // (Zoom tracks the constrained link cleanly, so Fall
                     // exits during the disruption) still owes the stepwise
@@ -350,17 +357,19 @@ impl RateController for FbraController {
                     if let Some(cap) = self.capacity_estimate.as_mut() {
                         *cap *= 1.0 + 0.01 * dt;
                     }
-                    // Creep back toward nominal: proportional (ratio-
-                    // preserving between Zoom flows) with a linear floor so a
-                    // small flow still claims idle capacity briskly — against
-                    // a backoff-heavy competitor (Teams), Zoom must re-
-                    // saturate the link before the competitor's fast phase.
-                    // The creep aims at the configured nominal, not at the
-                    // remembered capacity estimate: when the path is clean,
-                    // Zoom re-contests bandwidth and lets loss (beyond FEC)
-                    // be the brake. The estimate only schedules re-probes.
+                    // Creep back toward nominal, strictly proportionally.
+                    // Both the loss yield above and this creep must preserve
+                    // the *ratio* between competing Zoom flows: an additive
+                    // floor here (tried earlier) turns the yield/creep cycle
+                    // into AIMD, which converges to fairness and erases the
+                    // incumbent advantage of Fig 9a (the paper's incumbent
+                    // holds ~75 % for the whole competition). The creep aims
+                    // at the configured nominal, not at the remembered
+                    // capacity estimate: when the path is clean, Zoom
+                    // re-contests bandwidth and lets loss (beyond FEC) be the
+                    // brake. The estimate only schedules re-probes.
                     if self.target < self.cfg.nominal_mbps() {
-                        let step = (0.02 * self.target).max(0.03) * dt;
+                        let step = 0.04 * self.target * dt;
                         self.target = (self.target + step).min(self.cfg.nominal_mbps());
                     }
                     // Spontaneous re-probe to test whether a previously
@@ -386,6 +395,26 @@ impl RateController for FbraController {
             self.min_bound,
             self.max_bound.min(self.cfg.probe_ceiling_mbps()),
         );
+        #[cfg(feature = "testkit-checks")]
+        {
+            assert!(
+                self.target.is_finite() && self.target >= self.min_bound,
+                "FBRA target {} below floor {}",
+                self.target,
+                self.min_bound
+            );
+            assert!(
+                self.target <= self.max_bound.min(self.cfg.probe_ceiling_mbps()),
+                "FBRA target {} above ceiling {}",
+                self.target,
+                self.max_bound.min(self.cfg.probe_ceiling_mbps())
+            );
+            let fec = self.fec_fraction();
+            assert!(
+                (0.0..1.0).contains(&fec),
+                "FBRA FEC fraction {fec} outside [0, 1)"
+            );
+        }
     }
 
     fn target_mbps(&self) -> f64 {

@@ -164,11 +164,23 @@ fn main() {
             println!("  {label}: up {iu:.2} vs {cu:.2} | down {id:.2} vs {cd:.2}");
             print!(
                 "{}",
-                vcabench_harness::render::timeline("incumbent up", &t.inc_up, cap, Some(30.0), Some(150.0))
+                vcabench_harness::render::timeline(
+                    "incumbent up",
+                    &t.inc_up,
+                    cap,
+                    Some(30.0),
+                    Some(150.0)
+                )
             );
             print!(
                 "{}",
-                vcabench_harness::render::timeline("competitor up", &t.comp_up, cap, Some(30.0), Some(150.0))
+                vcabench_harness::render::timeline(
+                    "competitor up",
+                    &t.comp_up,
+                    cap,
+                    Some(30.0),
+                    Some(150.0)
+                )
             );
             emit_json(&mut json_out, label, &t);
         }
@@ -190,11 +202,23 @@ fn main() {
         );
         print!(
             "{}",
-            vcabench_harness::render::timeline("Zoom downlink", &f13.zoom, 1.6, Some(30.0), Some(150.0))
+            vcabench_harness::render::timeline(
+                "Zoom downlink",
+                &f13.zoom,
+                1.6,
+                Some(30.0),
+                Some(150.0)
+            )
         );
         print!(
             "{}",
-            vcabench_harness::render::timeline("iPerf3 downlink", &f13.iperf, 1.6, Some(30.0), Some(150.0))
+            vcabench_harness::render::timeline(
+                "iPerf3 downlink",
+                &f13.iperf,
+                1.6,
+                Some(30.0),
+                Some(150.0)
+            )
         );
         emit_json(&mut json_out, "fig12", &r);
         emit_json(&mut json_out, "fig13", &f13);

@@ -55,6 +55,16 @@ pub struct Fig14Result {
     pub netflix_mbps: f64,
 }
 
+/// Reduce per-second client samples to panel b's series and headline peak.
+pub fn summarize_parallel(samples: &[vcabench_apps::NetflixSample]) -> (Vec<(f64, usize)>, usize) {
+    let series: Vec<(f64, usize)> = samples
+        .iter()
+        .map(|s| (s.t.as_secs_f64(), s.parallel))
+        .collect();
+    let max_parallel = samples.iter().map(|s| s.parallel).max().unwrap_or(0);
+    (series, max_parallel)
+}
+
 /// Run the experiment.
 pub fn run(cfg: &Fig14Config) -> Fig14Result {
     let ccfg = CompetitionConfig::paper(
@@ -67,11 +77,7 @@ pub fn run(cfg: &Fig14Config) -> Fig14Result {
     let from = SimTime::ZERO + ccfg.competitor_start + ccfg.competitor_duration / 4;
     let to = SimTime::ZERO + ccfg.competitor_start + ccfg.competitor_duration;
     let samples = out.netflix.clone().unwrap_or_default();
-    let parallel_conns: Vec<(f64, usize)> = samples
-        .iter()
-        .map(|s| (s.t.as_secs_f64(), s.parallel))
-        .collect();
-    let max_parallel = samples.iter().map(|s| s.parallel).max().unwrap_or(0);
+    let (parallel_conns, max_parallel) = summarize_parallel(&samples);
     Fig14Result {
         zoom_mbps: TwoPartyOutcome::rate_between(&out.inc_down, from, to),
         netflix_mbps: TwoPartyOutcome::rate_between(&out.comp_down, from, to),
@@ -103,6 +109,28 @@ pub fn print(result: &Fig14Result) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcabench_apps::NetflixSample;
+    use vcabench_simcore::SimTime;
+
+    #[test]
+    fn parallel_summary_tracks_peak_and_timeline() {
+        let mk = |t: u64, parallel: usize, opened: u64| NetflixSample {
+            t: SimTime::from_secs(t),
+            parallel,
+            opened,
+            level: 0,
+            buffer_s: 0.0,
+        };
+        let samples = vec![mk(1, 1, 1), mk(2, 4, 6), mk(3, 11, 17), mk(4, 2, 18)];
+        let (series, max_parallel) = summarize_parallel(&samples);
+        assert_eq!(max_parallel, 11);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[2], (3.0, 11));
+        // Empty input must not panic and reports no parallelism.
+        let (empty, none) = summarize_parallel(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(none, 0);
+    }
 
     #[test]
     fn zoom_starves_netflix() {

@@ -116,6 +116,29 @@ mod tests {
     use super::*;
 
     #[test]
+    fn single_rep_rows_are_well_formed() {
+        let result = run(&Table2Config::quick());
+        assert_eq!(result.rows.len(), VcaKind::NATIVE.len());
+        for r in &result.rows {
+            // One repetition: the CI half-width degenerates to exactly zero.
+            assert_eq!(r.up_ci, 0.0, "{}: up CI {}", r.vca, r.up_ci);
+            assert_eq!(r.down_ci, 0.0, "{}: down CI {}", r.vca, r.down_ci);
+            // Every client both sends and receives real media.
+            assert!(r.up_mbps > 0.1, "{}: up {}", r.vca, r.up_mbps);
+            assert!(r.down_mbps > 0.1, "{}: down {}", r.vca, r.down_mbps);
+            assert!(
+                r.up_mbps < 10.0 && r.down_mbps < 10.0,
+                "{}: implausible",
+                r.vca
+            );
+        }
+        let mut names: Vec<&str> = result.rows.iter().map(|r| r.vca.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), result.rows.len(), "duplicate VCA rows");
+    }
+
+    #[test]
     fn shape_matches_paper() {
         let result = run(&Table2Config::quick());
         let get = |name: &str| result.rows.iter().find(|r| r.vca == name).unwrap();

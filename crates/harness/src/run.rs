@@ -404,7 +404,7 @@ mod tests {
     #[test]
     fn window_helpers_edges() {
         let series = vec![1.0; 100]; // 10 s at 100 ms bins
-        // Full window.
+                                     // Full window.
         let r = TwoPartyOutcome::rate_between(&series, SimTime::ZERO, SimTime::from_secs(10));
         assert!((r - 1.0).abs() < 1e-12);
         // Empty and inverted windows are zero.
@@ -417,7 +417,8 @@ mod tests {
             0.0
         );
         // Windows past the end clamp to the data.
-        let r = TwoPartyOutcome::rate_between(&series, SimTime::from_secs(9), SimTime::from_secs(99));
+        let r =
+            TwoPartyOutcome::rate_between(&series, SimTime::from_secs(9), SimTime::from_secs(99));
         assert!((r - 1.0).abs() < 1e-12);
         // Median of a half-constant window.
         let mut bi = vec![0.0; 50];

@@ -18,6 +18,9 @@ use crate::packet::{FlowId, NodeId, Packet};
 use crate::profile::RateProfile;
 use crate::trace::FlowTraces;
 
+#[cfg(feature = "testkit-checks")]
+use vcabench_simcore::{InvariantLog, Violation};
+
 /// Configuration of one unidirectional link.
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
@@ -131,6 +134,22 @@ pub enum EnqueueOutcome {
     Dropped,
 }
 
+/// Independent ledger the link auditor keeps alongside the link's own
+/// bookkeeping (testkit builds only). Cross-checking two separately
+/// maintained accounts is what lets the audit catch a forgotten counter
+/// increment or a lost packet rather than merely re-deriving the bug.
+#[cfg(feature = "testkit-checks")]
+#[derive(Debug, Default)]
+struct LinkAudit {
+    log: InvariantLog,
+    /// Ids of accepted packets in service order (front = in service).
+    fifo: VecDeque<u64>,
+    /// Bytes delivered, counted by the auditor at completion time.
+    delivered_bytes: u64,
+    /// Largest packet accepted so far (sizes the capacity-check slack).
+    max_pkt_bytes: usize,
+}
+
 /// One unidirectional link instance.
 #[derive(Debug)]
 pub struct Link<P> {
@@ -147,6 +166,8 @@ pub struct Link<P> {
     /// Departure-side throughput traces (bytes counted when serialization
     /// completes, i.e. the on-wire rate a passive tap would measure).
     pub traces: FlowTraces,
+    #[cfg(feature = "testkit-checks")]
+    audit: LinkAudit,
 }
 
 impl<P> Link<P> {
@@ -161,6 +182,8 @@ impl<P> Link<P> {
             offered: 0,
             stats: LinkStats::default(),
             traces: FlowTraces::new(),
+            #[cfg(feature = "testkit-checks")]
+            audit: LinkAudit::default(),
         }
     }
 
@@ -202,12 +225,14 @@ impl<P> Link<P> {
     /// returned time is when serialization completes; otherwise it queues or
     /// drops.
     pub fn enqueue(&mut self, now: SimTime, pkt: Packet<P>) -> EnqueueOutcome {
+        #[cfg(feature = "testkit-checks")]
+        let (pkt_id, pkt_size) = (pkt.id, pkt.size);
         self.offered += 1;
-        if self.cfg.drop_every > 0 && self.offered.is_multiple_of(self.cfg.drop_every) {
+        let outcome = if self.cfg.drop_every > 0 && self.offered.is_multiple_of(self.cfg.drop_every)
+        {
             *self.stats.dropped.entry(pkt.flow).or_default() += 1;
-            return EnqueueOutcome::Dropped;
-        }
-        if self.in_service.is_none() {
+            EnqueueOutcome::Dropped
+        } else if self.in_service.is_none() {
             let done = now + transmission_time(pkt.size, self.rate_at(now));
             self.in_service = Some(pkt);
             EnqueueOutcome::StartTx(done)
@@ -218,7 +243,10 @@ impl<P> Link<P> {
         } else {
             *self.stats.dropped.entry(pkt.flow).or_default() += 1;
             EnqueueOutcome::Dropped
-        }
+        };
+        #[cfg(feature = "testkit-checks")]
+        self.audit_enqueue(now, pkt_id, pkt_size, outcome);
+        outcome
     }
 
     /// Complete the packet in service. Returns the delivered packet and, if
@@ -237,6 +265,8 @@ impl<P> Link<P> {
             self.in_service = Some(next);
             done
         });
+        #[cfg(feature = "testkit-checks")]
+        self.audit_complete(now, pkt.id, pkt.size);
         (pkt, next_done)
     }
 
@@ -246,6 +276,87 @@ impl<P> Link<P> {
         let rate = self.rate_at(now);
         let in_service = self.in_service.as_ref().map(|p| p.size).unwrap_or(0);
         transmission_time(self.queued_bytes + in_service, rate)
+    }
+}
+
+#[cfg(feature = "testkit-checks")]
+impl<P> Link<P> {
+    fn audit_enqueue(&mut self, now: SimTime, pkt_id: u64, pkt_size: usize, out: EnqueueOutcome) {
+        if !matches!(out, EnqueueOutcome::Dropped) {
+            self.audit.fifo.push_back(pkt_id);
+            self.audit.max_pkt_bytes = self.audit.max_pkt_bytes.max(pkt_size);
+        }
+        let (backlog, limit) = (self.queued_bytes, self.cfg.queue_bytes);
+        self.audit
+            .log
+            .check(now, "queue-occupancy", backlog <= limit, || {
+                format!("backlog {backlog} B exceeds drop-tail limit {limit} B")
+            });
+        self.audit_conservation(now);
+    }
+
+    fn audit_complete(&mut self, now: SimTime, pkt_id: u64, pkt_size: usize) {
+        let head = self.audit.fifo.pop_front();
+        self.audit
+            .log
+            .check(now, "fifo-order", head == Some(pkt_id), || {
+                format!("delivered pkt {pkt_id} but accepted-ledger head was {head:?}")
+            });
+        self.audit.delivered_bytes += pkt_size as u64;
+        // Cumulative capacity: bytes delivered by `now` must fit the
+        // profile's byte budget. Slack: a packet's service rate is fixed when
+        // serialization starts, so each rate drop can let one already-started
+        // max-size packet exceed the integral, plus one for boundary
+        // rounding of the packet completing exactly at `now`.
+        let slack = (self.cfg.rate.changes_between(SimTime::ZERO, now) + 1)
+            * self.audit.max_pkt_bytes.max(1);
+        let budget = self.cfg.rate.max_bytes_between(SimTime::ZERO, now) + slack as f64 + 1.0;
+        let delivered = self.audit.delivered_bytes;
+        self.audit
+            .log
+            .check(now, "capacity", (delivered as f64) <= budget, || {
+                format!("delivered {delivered} B by {now}, profile allows at most {budget:.0} B")
+            });
+        let stats_bytes: u64 = self.stats.delivered_bytes.values().sum();
+        self.audit
+            .log
+            .check(now, "stats-bytes", stats_bytes == delivered, || {
+                format!("stats count {stats_bytes} delivered bytes, audit ledger {delivered}")
+            });
+        self.audit_conservation(now);
+    }
+
+    /// Packet conservation: everything offered is delivered, dropped, or
+    /// still held by the link — and the audit's independently maintained
+    /// ledger of accepted ids agrees with the link's own holdings.
+    fn audit_conservation(&mut self, now: SimTime) {
+        let offered = self.offered;
+        let accounted = self.stats.total_delivered()
+            + self.stats.total_dropped()
+            + self.queue.len() as u64
+            + self.in_service.is_some() as u64;
+        self.audit
+            .log
+            .check(now, "packet-conservation", offered == accounted, || {
+                format!("offered {offered} != delivered+dropped+backlog+in-service {accounted}")
+            });
+        let ledger = self.audit.fifo.len();
+        let held = self.queue.len() + self.in_service.is_some() as usize;
+        self.audit
+            .log
+            .check(now, "accept-ledger", ledger == held, || {
+                format!("accepted ledger holds {ledger} ids, link holds {held} packets")
+            });
+    }
+
+    /// Violations recorded by this link's auditor.
+    pub fn audit_violations(&self) -> &[Violation] {
+        self.audit.log.violations()
+    }
+
+    /// Number of invariant checks this link's auditor has performed.
+    pub fn audit_checks(&self) -> u64 {
+        self.audit.log.checks_performed()
     }
 }
 

@@ -16,6 +16,9 @@ use vcabench_simcore::{EventQueue, SimDuration, SimTime};
 use crate::link::{EnqueueOutcome, Link, LinkConfig};
 use crate::packet::{FlowId, LinkId, NodeId, Packet};
 
+#[cfg(feature = "testkit-checks")]
+use vcabench_simcore::{MonotonicClock, SimObserver, Violation};
+
 /// Events processed by the network engine.
 #[derive(Debug)]
 pub enum NetEvent<P> {
@@ -109,6 +112,10 @@ pub struct Network<P> {
     next_pkt_id: u64,
     /// Packets discarded because no route existed (usually a wiring bug).
     pub unrouted_drops: u64,
+    #[cfg(feature = "testkit-checks")]
+    clock: MonotonicClock,
+    #[cfg(feature = "testkit-checks")]
+    observers: Vec<Box<dyn SimObserver>>,
 }
 
 impl<P: 'static> Network<P> {
@@ -124,6 +131,10 @@ impl<P: 'static> Network<P> {
             agents: Vec::new(),
             next_pkt_id: 0,
             unrouted_drops: 0,
+            #[cfg(feature = "testkit-checks")]
+            clock: MonotonicClock::new(),
+            #[cfg(feature = "testkit-checks")]
+            observers: Vec::new(),
         }
     }
 
@@ -239,6 +250,13 @@ impl<P: 'static> Network<P> {
             }
             let (at, ev) = self.events.pop().expect("peeked event");
             debug_assert!(at >= self.now, "time went backwards");
+            #[cfg(feature = "testkit-checks")]
+            {
+                self.clock.on_event(at);
+                for obs in &mut self.observers {
+                    obs.on_event(at);
+                }
+            }
             self.now = at;
             self.handle(ev);
         }
@@ -350,6 +368,57 @@ impl<P: 'static> Network<P> {
                     self.events.schedule(at, NetEvent::Timer(node, id));
                 }
             }
+        }
+    }
+}
+
+#[cfg(feature = "testkit-checks")]
+impl<P: 'static> Network<P> {
+    /// Attach an external observer; it sees the timestamp of every processed
+    /// event from this point on.
+    pub fn add_observer(&mut self, obs: Box<dyn SimObserver>) {
+        self.observers.push(obs);
+    }
+
+    /// Every invariant violation recorded anywhere in this network: the
+    /// engine clock, attached observers, and each link's auditor.
+    pub fn invariant_violations(&self) -> Vec<Violation> {
+        use vcabench_simcore::Invariant;
+        let mut out: Vec<Violation> = self.clock.violations().to_vec();
+        for obs in &self.observers {
+            out.extend(obs.violations().iter().cloned());
+        }
+        for link in &self.links {
+            out.extend(link.audit_violations().iter().cloned());
+        }
+        out.sort_by_key(|v| v.at);
+        out
+    }
+
+    /// Total invariant checks performed across the engine and all links.
+    /// A clean run with zero checks proves nothing, so callers assert on
+    /// this too.
+    pub fn invariant_checks(&self) -> u64 {
+        use vcabench_simcore::Invariant;
+        self.clock.checks_performed()
+            + self
+                .observers
+                .iter()
+                .map(|o| o.checks_performed())
+                .sum::<u64>()
+            + self.links.iter().map(|l| l.audit_checks()).sum::<u64>()
+    }
+
+    /// Panic with a readable report if any invariant was violated.
+    pub fn assert_invariants(&self) {
+        let violations = self.invariant_violations();
+        if !violations.is_empty() {
+            let report: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "{} invariant violation(s):\n{}",
+                violations.len(),
+                report.join("\n")
+            );
         }
     }
 }
@@ -559,6 +628,30 @@ mod tests {
         );
         net.run_until(SimTime::from_secs(1));
         assert_eq!(net.agent::<Sink>(dst).received, 3);
+    }
+
+    /// With checks armed, an overloaded link (drops, deep queue, rate
+    /// shaping) must still satisfy every audit: conservation, occupancy,
+    /// FIFO, capacity, monotonic time.
+    #[cfg(feature = "testkit-checks")]
+    #[test]
+    fn invariants_clean_under_overload() {
+        let (mut net, src, _router, dst, up) = build_chain(1.0);
+        net.set_agent(
+            src,
+            Box::new(Source {
+                flow: FlowId(7),
+                dst,
+                count: 500,
+                size: 1250,
+                spacing: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        net.run_until(SimTime::from_secs(2));
+        assert!(net.link(up).stats.total_dropped() > 0, "overload must drop");
+        assert!(net.invariant_checks() > 1_000, "audits actually ran");
+        net.assert_invariants();
     }
 
     #[test]

@@ -75,6 +75,34 @@ impl RateProfile {
         self.steps.iter().map(|&(st, _)| st).find(|&st| st > t)
     }
 
+    /// Number of rate changes strictly inside `(from, to]`.
+    pub fn changes_between(&self, from: SimTime, to: SimTime) -> usize {
+        self.steps
+            .iter()
+            .filter(|&&(st, _)| st > from && st <= to)
+            .count()
+    }
+
+    /// Upper bound on the bytes a link following this profile can serialize
+    /// in `[from, to]`: the integral of the rate over the window, in bytes.
+    pub fn max_bytes_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut bytes = 0.0;
+        let mut cursor = from;
+        while cursor < to {
+            let rate = self.rate_at(cursor);
+            let next = self
+                .next_change_after(cursor)
+                .filter(|&c| c < to)
+                .unwrap_or(to);
+            bytes += rate / 8.0 * next.saturating_since(cursor).as_secs_f64();
+            cursor = next;
+        }
+        bytes
+    }
+
     /// Minimum rate anywhere in the schedule.
     pub fn min_rate(&self) -> f64 {
         self.steps

@@ -83,6 +83,23 @@ impl BinTrace {
         self.bytes_between(from, to) as f64 * 8.0 / dur / 1e6
     }
 
+    /// Raw per-bin byte counts re-aggregated into `width`-wide bins, padded
+    /// with zeros out to `until`. Integer-exact, so suitable for golden
+    /// fixtures that demand byte-identical serialization across runs.
+    pub fn binned_bytes(&self, width: SimDuration, until: SimTime) -> Vec<u64> {
+        assert!(!width.is_zero(), "bin width must be positive");
+        let n = until.as_micros().div_ceil(width.as_micros()) as usize;
+        let mut out = vec![0u64; n];
+        for (i, &b) in self.bins.iter().enumerate() {
+            let t = i as u64 * self.bin.as_micros();
+            let idx = (t / width.as_micros()) as usize;
+            if idx < out.len() {
+                out[idx] += b;
+            }
+        }
+        out
+    }
+
     /// Per-bin bitrate series in Mbps, padded with zeros out to `until`.
     pub fn series_mbps(&self, until: SimTime) -> Vec<f64> {
         let n = until.as_micros().div_ceil(self.bin.as_micros()) as usize;
@@ -243,6 +260,17 @@ mod tests {
             SimTime::from_secs(1),
         );
         assert_eq!(combined, 3000);
+    }
+
+    #[test]
+    fn binned_bytes_reaggregates() {
+        let mut tr = BinTrace::new(SimDuration::from_millis(100));
+        for i in 0..15 {
+            tr.record(SimTime::from_millis(i * 100), 10);
+        }
+        // 1.5 s of 100 ms bins into 1 s bins, padded to 3 s.
+        let b = tr.binned_bytes(SimDuration::from_secs(1), SimTime::from_secs(3));
+        assert_eq!(b, vec![100, 50, 0]);
     }
 
     #[test]

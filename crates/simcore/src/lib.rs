@@ -14,10 +14,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod observe;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use observe::{Invariant, InvariantLog, MonotonicClock, SimObserver, Violation};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{transmission_time, SimDuration, SimTime};

@@ -1,0 +1,240 @@
+//! Simulation invariant checking.
+//!
+//! The engine and the layers above it (links, transports, controllers)
+//! maintain properties that must hold on every event: time never goes
+//! backwards, queues conserve packets, rates respect configured bounds.
+//! This module provides the shared vocabulary for *auditing* those
+//! properties at runtime: a [`Violation`] record, an [`InvariantLog`] that
+//! concrete audits accumulate into, and the [`Invariant`]/[`SimObserver`]
+//! traits the test kit uses to arm and interrogate checks.
+//!
+//! The types here are always compiled (they are cheap, inert data); the
+//! *hook points* that feed them live behind each crate's `testkit-checks`
+//! feature so production builds pay nothing.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Cap on stored violations per log: a broken invariant usually fires on
+/// every subsequent event, and the first few occurrences carry all the
+/// diagnostic value. Further violations are counted but not stored.
+const MAX_STORED_VIOLATIONS: usize = 32;
+
+/// One observed breach of a simulation invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Simulation time at which the breach was detected.
+    pub at: SimTime,
+    /// Name of the invariant that failed (stable, greppable).
+    pub invariant: &'static str,
+    /// Human-readable specifics (observed vs. expected values).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.invariant, self.detail)
+    }
+}
+
+/// Accumulator shared by concrete audits: counts every check performed and
+/// stores the first [`MAX_STORED_VIOLATIONS`] violations.
+///
+/// Tracking the check count matters as much as the violations themselves: a
+/// suite that reports "no violations" after performing zero checks proves
+/// nothing, so the test kit asserts both.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantLog {
+    violations: Vec<Violation>,
+    checks: u64,
+    suppressed: u64,
+}
+
+impl InvariantLog {
+    /// Fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Perform one check: record a violation when `ok` is false. The detail
+    /// closure only runs on failure.
+    pub fn check(
+        &mut self,
+        at: SimTime,
+        invariant: &'static str,
+        ok: bool,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.checks += 1;
+        if !ok {
+            self.record(at, invariant, detail());
+        }
+    }
+
+    /// Record a violation directly (for checks counted elsewhere).
+    pub fn record(&mut self, at: SimTime, invariant: &'static str, detail: String) {
+        if self.violations.len() < MAX_STORED_VIOLATIONS {
+            self.violations.push(Violation {
+                at,
+                invariant,
+                detail,
+            });
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// Number of checks performed so far.
+    pub fn checks_performed(&self) -> u64 {
+        self.checks
+    }
+
+    /// Stored violations (capped; see [`InvariantLog::suppressed`]).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violations dropped after the storage cap was reached.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// True if no violation has ever been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+}
+
+/// A named runtime invariant whose outcome can be interrogated after a run.
+pub trait Invariant {
+    /// Stable name of the invariant.
+    fn name(&self) -> &'static str;
+    /// Violations observed so far.
+    fn violations(&self) -> &[Violation];
+    /// Number of individual checks performed.
+    fn checks_performed(&self) -> u64;
+    /// True when every check passed.
+    fn ok(&self) -> bool {
+        self.violations().is_empty()
+    }
+}
+
+/// An invariant fed by the event loop: it sees the timestamp of every
+/// processed event. External observers (the test kit's, for instance) attach
+/// to the engine through this trait.
+pub trait SimObserver: Invariant {
+    /// Called once per processed event with the event's timestamp.
+    fn on_event(&mut self, at: SimTime);
+}
+
+/// The fundamental engine invariant: processed-event timestamps never
+/// decrease.
+#[derive(Debug, Clone, Default)]
+pub struct MonotonicClock {
+    last: Option<SimTime>,
+    log: InvariantLog,
+}
+
+impl MonotonicClock {
+    /// Fresh clock check.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Invariant for MonotonicClock {
+    fn name(&self) -> &'static str {
+        "sim-time-monotonic"
+    }
+
+    fn violations(&self) -> &[Violation] {
+        self.log.violations()
+    }
+
+    fn checks_performed(&self) -> u64 {
+        self.log.checks_performed()
+    }
+}
+
+impl SimObserver for MonotonicClock {
+    fn on_event(&mut self, at: SimTime) {
+        let last = self.last;
+        self.log.check(
+            at,
+            "sim-time-monotonic",
+            last.map(|l| at >= l).unwrap_or(true),
+            || {
+                format!(
+                    "event at {at} after event at {}",
+                    last.unwrap_or(SimTime::ZERO)
+                )
+            },
+        );
+        self.last = Some(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_checks_and_violations() {
+        let mut log = InvariantLog::new();
+        log.check(SimTime::ZERO, "x", true, || unreachable!());
+        log.check(SimTime::from_secs(1), "x", false, || "boom".into());
+        assert_eq!(log.checks_performed(), 2);
+        assert_eq!(log.violations().len(), 1);
+        assert!(!log.is_clean());
+        assert_eq!(log.violations()[0].invariant, "x");
+        assert_eq!(log.violations()[0].detail, "boom");
+    }
+
+    #[test]
+    fn log_caps_stored_violations() {
+        let mut log = InvariantLog::new();
+        for i in 0..100 {
+            log.check(SimTime::from_micros(i), "x", false, || "v".into());
+        }
+        assert_eq!(log.violations().len(), MAX_STORED_VIOLATIONS);
+        assert_eq!(
+            log.suppressed(),
+            100 - MAX_STORED_VIOLATIONS as u64,
+            "overflow counted, not stored"
+        );
+        assert!(!log.is_clean());
+    }
+
+    #[test]
+    fn monotonic_clock_accepts_ordered_events() {
+        let mut c = MonotonicClock::new();
+        for t in [0u64, 5, 5, 9] {
+            c.on_event(SimTime::from_micros(t));
+        }
+        assert!(c.ok());
+        assert!(c.checks_performed() > 0);
+    }
+
+    #[test]
+    fn monotonic_clock_flags_regression() {
+        let mut c = MonotonicClock::new();
+        c.on_event(SimTime::from_secs(2));
+        c.on_event(SimTime::from_secs(1));
+        assert!(!c.ok());
+        assert_eq!(c.name(), "sim-time-monotonic");
+        let v = &c.violations()[0];
+        assert!(v.detail.contains("after"), "{}", v.detail);
+    }
+
+    #[test]
+    fn violation_displays_fields() {
+        let v = Violation {
+            at: SimTime::from_secs(3),
+            invariant: "queue-bound",
+            detail: "65537 > 65536".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("queue-bound") && s.contains("65537"), "{s}");
+    }
+}

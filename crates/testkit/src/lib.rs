@@ -1,0 +1,23 @@
+//! Test kit: property-based scenario fuzzing and golden-trace regression.
+//!
+//! The simulator's value rests on two claims the unit tests cannot carry
+//! alone: that its conservation laws hold under *arbitrary* valid
+//! configurations (not just the handful the experiments use), and that its
+//! output is bit-stable across refactors. This crate attacks both:
+//!
+//! - [`scenario`] generates random-but-valid scenarios (application ×
+//!   topology × rate profiles × seeds) and runs them with every invariant
+//!   audit armed — the `testkit-checks` feature of the underlying crates is
+//!   always on here, while release builds of the workspace compile the hook
+//!   points away.
+//! - [`golden`] snapshots compact, integer-exact per-link summaries of a
+//!   fixed scenario matrix and compares new runs against the committed JSON
+//!   fixtures with tolerance-free equality. `VCABENCH_BLESS=1` re-blesses.
+//!
+//! See the crate README for the bless and proptest-regression workflows.
+
+pub mod golden;
+pub mod scenario;
+
+pub use golden::{check_golden, golden_path, LinkSummary, TraceSummary};
+pub use scenario::{run_scenario, CrossTraffic, ProfileSpec, Scenario, ScenarioOutcome, Topology};

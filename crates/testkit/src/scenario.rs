@@ -1,0 +1,498 @@
+//! Scenario generation and execution with every invariant audit armed.
+//!
+//! A [`Scenario`] is a *valid* simulation configuration drawn from the space
+//! the paper's experiments inhabit: an application, a topology, piecewise
+//! rate profiles on the measured access path, optional cross traffic, a
+//! seed, and a bounded duration. [`run_scenario`] builds the network (with
+//! the `testkit-checks` features of every underlying crate enabled by this
+//! crate's dependency declarations), runs it, and returns the invariant
+//! verdict plus an integer-exact [`TraceSummary`] for determinism and golden
+//! comparisons.
+//!
+//! Rates are carried as integer *centi-Mbps* so scenarios are `Eq`, hashable
+//! and print exactly — a fuzz failure message identifies the case fully.
+
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use vcabench_apps::{TcpSenderAgent, TcpSinkAgent};
+use vcabench_netsim::{topology, FlowId, Network, RateProfile};
+use vcabench_simcore::{SimRng, SimTime, Violation};
+use vcabench_transport::Wire;
+use vcabench_vca::{two_party_call, wire_call, wire_call_at, VcaClient, VcaKind, ViewMode};
+
+use crate::golden::{LinkSummary, TraceSummary};
+
+/// Hard cap on fuzzed scenario length, in simulated seconds.
+pub const MAX_DURATION_S: u32 = 30;
+
+/// A piecewise-constant rate schedule in integer centi-Mbps (1 unit =
+/// 0.01 Mbps), mirroring the paper's `tc` shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileSpec {
+    /// Constant rate for the whole run.
+    Constant {
+        /// Rate in centi-Mbps.
+        cmbps: u32,
+    },
+    /// One step: `start` until `at_s`, `then` afterwards.
+    Step {
+        /// Initial rate in centi-Mbps.
+        start: u32,
+        /// Step time in seconds.
+        at_s: u32,
+        /// Rate after the step, centi-Mbps.
+        then: u32,
+    },
+    /// The §4 transient: `nominal` with a dip to `reduced` during
+    /// `[start_s, start_s + dur_s)`.
+    Disruption {
+        /// Nominal rate, centi-Mbps.
+        nominal: u32,
+        /// Reduced rate during the dip, centi-Mbps.
+        reduced: u32,
+        /// Dip start, seconds.
+        start_s: u32,
+        /// Dip length, seconds.
+        dur_s: u32,
+    },
+}
+
+impl ProfileSpec {
+    /// Materialize as a [`RateProfile`].
+    pub fn to_profile(self) -> RateProfile {
+        // 1 centi-Mbps = 1e4 bps.
+        match self {
+            ProfileSpec::Constant { cmbps } => RateProfile::constant(cmbps as f64 * 1e4),
+            ProfileSpec::Step { start, at_s, then } => RateProfile::constant(start as f64 * 1e4)
+                .step(SimTime::from_secs(at_s as u64), then as f64 * 1e4),
+            ProfileSpec::Disruption {
+                nominal,
+                reduced,
+                start_s,
+                dur_s,
+            } => RateProfile::disruption(
+                nominal as f64 * 1e4,
+                reduced as f64 * 1e4,
+                SimTime::from_secs(start_s as u64),
+                vcabench_simcore::SimDuration::from_secs(dur_s as u64),
+            ),
+        }
+    }
+}
+
+/// What shares the bottleneck with the measured call (competition topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossTraffic {
+    /// TCP bulk upload from the competing host (iPerf3-style).
+    TcpUp,
+    /// TCP bulk download to the competing host.
+    TcpDown,
+    /// A second VCA call of the given kind.
+    Vca(VcaKind),
+}
+
+/// Network shape of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// The §2.2 two-party setup; profiles shape C1's access link.
+    TwoParty,
+    /// The §6 star with `n` clients; profiles shape every access link.
+    Multiparty {
+        /// Number of participants (≥ 2).
+        n: usize,
+    },
+    /// The §5 shared-bottleneck setup; profiles shape the bottleneck and
+    /// the cross traffic joins a third of the way into the run.
+    Competition {
+        /// The competing application.
+        cross: CrossTraffic,
+    },
+}
+
+/// One fully-specified fuzz case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Application under test.
+    pub kind: VcaKind,
+    /// Network shape.
+    pub topology: Topology,
+    /// Uplink-direction shaping.
+    pub up: ProfileSpec,
+    /// Downlink-direction shaping.
+    pub down: ProfileSpec,
+    /// Run length in simulated seconds (≤ [`MAX_DURATION_S`]).
+    pub duration_s: u32,
+    /// Seed for all stochastic model components.
+    pub seed: u64,
+}
+
+/// Verdict and summary of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Total invariant checks performed (engine + links + RTP receivers).
+    pub checks: u64,
+    /// Every violation recorded anywhere; empty on a healthy run.
+    pub violations: Vec<Violation>,
+    /// Integer-exact run summary for determinism/golden comparison.
+    pub summary: TraceSummary,
+}
+
+impl ScenarioOutcome {
+    /// Panic with a readable report if any invariant was violated or no
+    /// checks ran (a vacuous pass proves nothing).
+    pub fn assert_clean(&self) {
+        assert!(self.checks > 0, "no invariant checks were performed");
+        if !self.violations.is_empty() {
+            let lines: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "{} invariant violation(s):\n{}",
+                self.violations.len(),
+                lines.join("\n")
+            );
+        }
+    }
+}
+
+/// Build, run, and audit one scenario.
+pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
+    match sc.topology {
+        Topology::TwoParty => run_two_party(sc),
+        Topology::Multiparty { n } => run_multiparty(sc, n),
+        Topology::Competition { cross } => run_competition(sc, cross),
+    }
+}
+
+fn end_time(sc: &Scenario) -> SimTime {
+    SimTime::from_secs(sc.duration_s as u64)
+}
+
+/// Collect violations/checks common to every topology: the engine and link
+/// audits inside `net`, routing health, and the clients' RTP receivers.
+fn collect(net: &Network<Wire>, clients: &[&VcaClient]) -> (u64, Vec<Violation>) {
+    let mut violations = net.invariant_violations();
+    let mut checks = net.invariant_checks();
+    // Routing is part of conservation at network scope: a packet that fell
+    // off the routing table disappeared without being dropped by a queue.
+    checks += 1;
+    if net.unrouted_drops > 0 {
+        violations.push(Violation {
+            at: net.now(),
+            invariant: "no-unrouted-packets",
+            detail: format!("{} packet(s) had no route", net.unrouted_drops),
+        });
+    }
+    for c in clients {
+        checks += c.audit_checks();
+        violations.extend(c.audit_violations());
+    }
+    (checks, violations)
+}
+
+fn run_two_party(sc: &Scenario) -> ScenarioOutcome {
+    let mut call = two_party_call(sc.kind, sc.up.to_profile(), sc.down.to_profile(), sc.seed);
+    let end = end_time(sc);
+    call.net.run_until(end);
+    let c1: &VcaClient = call.net.agent(call.topo.c1);
+    let c2: &VcaClient = call.net.agent(call.topo.c2);
+    let (checks, violations) = collect(&call.net, &[c1, c2]);
+    let t = &call.topo;
+    let links = [
+        ("c1_up", t.c1_up),
+        ("c1_down", t.c1_down),
+        ("wan_up", t.wan_up),
+        ("wan_down", t.wan_down),
+        ("c2_up", t.c2_up),
+        ("c2_down", t.c2_down),
+    ]
+    .iter()
+    .map(|&(name, id)| LinkSummary::of(name, call.net.link(id), end))
+    .collect();
+    let summary = TraceSummary {
+        scenario: format!("{sc:?}"),
+        duration_s: sc.duration_s,
+        links,
+        c1_frames_decoded: c1.frames_decoded_from(1),
+        c2_frames_decoded: c2.frames_decoded_from(0),
+    };
+    ScenarioOutcome {
+        checks,
+        violations,
+        summary,
+    }
+}
+
+fn run_multiparty(sc: &Scenario, n: usize) -> ScenarioOutcome {
+    let mut rng = SimRng::seed_from_u64(sc.seed);
+    let mut net: Network<Wire> = Network::new();
+    let topo = topology::multiparty(&mut net, n, sc.up.to_profile(), sc.down.to_profile());
+    let clients = topo.clients.clone();
+    let modes = vec![ViewMode::Gallery; n];
+    let handles = wire_call(
+        &mut net,
+        sc.kind,
+        topo.server,
+        &clients,
+        &modes,
+        10,
+        &mut rng,
+    );
+    let end = end_time(sc);
+    net.run_until(end);
+    let agents: Vec<&VcaClient> = handles.clients.iter().map(|&c| net.agent(c)).collect();
+    let (checks, violations) = collect(&net, &agents);
+    let c1_frames: u64 = (1..n as u32)
+        .map(|s| agents[0].frames_decoded_from(s))
+        .sum();
+    let c2_frames = agents[1].frames_decoded_from(0);
+    let links = topo
+        .uplinks
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| LinkSummary::of(&format!("up{i}"), net.link(id), end))
+        .chain(
+            topo.downlinks
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| LinkSummary::of(&format!("down{i}"), net.link(id), end)),
+        )
+        .collect();
+    let summary = TraceSummary {
+        scenario: format!("{sc:?}"),
+        duration_s: sc.duration_s,
+        links,
+        c1_frames_decoded: c1_frames,
+        c2_frames_decoded: c2_frames,
+    };
+    ScenarioOutcome {
+        checks,
+        violations,
+        summary,
+    }
+}
+
+fn run_competition(sc: &Scenario, cross: CrossTraffic) -> ScenarioOutcome {
+    let mut rng = SimRng::seed_from_u64(sc.seed);
+    let mut net: Network<Wire> = Network::new();
+    let topo = topology::competition(&mut net, sc.up.to_profile(), sc.down.to_profile());
+    let h1 = wire_call(
+        &mut net,
+        sc.kind,
+        topo.vca_server,
+        &[topo.c1, topo.c2],
+        &[ViewMode::Gallery, ViewMode::Gallery],
+        10,
+        &mut rng,
+    );
+    let comp_start = SimTime::from_secs((sc.duration_s / 3) as u64);
+    let end = end_time(sc);
+    match cross {
+        CrossTraffic::Vca(kind) => {
+            let _ = wire_call_at(
+                &mut net,
+                kind,
+                topo.f_server,
+                &[topo.f1, topo.f2],
+                &[ViewMode::Gallery, ViewMode::Gallery],
+                50,
+                &mut rng,
+                comp_start,
+            );
+        }
+        CrossTraffic::TcpUp => {
+            net.set_agent(
+                topo.f1,
+                Box::new(TcpSenderAgent::new(
+                    1,
+                    topo.f_server,
+                    FlowId(70),
+                    comp_start,
+                    Some(end),
+                )),
+            );
+            net.set_agent(topo.f_server, Box::new(TcpSinkAgent::new(FlowId(71))));
+        }
+        CrossTraffic::TcpDown => {
+            net.set_agent(
+                topo.f_server,
+                Box::new(TcpSenderAgent::new(
+                    1,
+                    topo.f1,
+                    FlowId(71),
+                    comp_start,
+                    Some(end),
+                )),
+            );
+            net.set_agent(topo.f1, Box::new(TcpSinkAgent::new(FlowId(70))));
+        }
+    }
+    net.run_until(end);
+    let c1: &VcaClient = net.agent(h1.clients[0]);
+    let c2: &VcaClient = net.agent(h1.clients[1]);
+    let (checks, violations) = collect(&net, &[c1, c2]);
+    let links = [
+        ("bottleneck_up", topo.bottleneck_up),
+        ("bottleneck_down", topo.bottleneck_down),
+    ]
+    .iter()
+    .map(|&(name, id)| LinkSummary::of(name, net.link(id), end))
+    .collect();
+    let summary = TraceSummary {
+        scenario: format!("{sc:?}"),
+        duration_s: sc.duration_s,
+        links,
+        c1_frames_decoded: c1.frames_decoded_from(1),
+        c2_frames_decoded: c2.frames_decoded_from(0),
+    };
+    ScenarioOutcome {
+        checks,
+        violations,
+        summary,
+    }
+}
+
+/// All application kinds the simulator models.
+pub const ALL_KINDS: [VcaKind; 5] = [
+    VcaKind::Zoom,
+    VcaKind::ZoomChrome,
+    VcaKind::Meet,
+    VcaKind::Teams,
+    VcaKind::TeamsChrome,
+];
+
+/// Proptest strategy over valid scenarios, durations in
+/// `[min_duration_s, max_duration_s]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbScenario {
+    min_duration_s: u32,
+    max_duration_s: u32,
+}
+
+/// Strategy generating arbitrary valid [`Scenario`]s with durations in
+/// `[min_s, max_s]` (clamped to [`MAX_DURATION_S`]).
+pub fn arb_scenario(min_s: u32, max_s: u32) -> ArbScenario {
+    assert!(min_s >= 6, "runs shorter than 6 s never exchange media");
+    let max_s = max_s.min(MAX_DURATION_S);
+    assert!(min_s <= max_s);
+    ArbScenario {
+        min_duration_s: min_s,
+        max_duration_s: max_s,
+    }
+}
+
+fn draw_u32(rng: &mut TestRng, lo: u32, hi_incl: u32) -> u32 {
+    lo + (rng.next_u64() % (hi_incl - lo + 1) as u64) as u32
+}
+
+fn draw_profile(rng: &mut TestRng, duration_s: u32) -> ProfileSpec {
+    // Rates span 0.3–10 Mbps: below the paper's lowest disruption floor up
+    // to comfortably unconstrained for a single call.
+    let rate = |rng: &mut TestRng| draw_u32(rng, 30, 1000);
+    match rng.next_u64() % 3 {
+        0 => ProfileSpec::Constant { cmbps: rate(rng) },
+        1 => ProfileSpec::Step {
+            start: rate(rng),
+            at_s: draw_u32(rng, 2, duration_s - 2),
+            then: rate(rng),
+        },
+        _ => {
+            let start_s = draw_u32(rng, 2, duration_s - 4);
+            ProfileSpec::Disruption {
+                nominal: rate(rng),
+                reduced: draw_u32(rng, 25, 100),
+                start_s,
+                dur_s: draw_u32(rng, 2, (duration_s - start_s).min(10)),
+            }
+        }
+    }
+}
+
+impl Strategy for ArbScenario {
+    type Value = Scenario;
+
+    fn generate(&self, rng: &mut TestRng) -> Scenario {
+        let kind = ALL_KINDS[(rng.next_u64() % ALL_KINDS.len() as u64) as usize];
+        let duration_s = draw_u32(rng, self.min_duration_s, self.max_duration_s);
+        let topology = match rng.next_u64() % 4 {
+            0 | 1 => Topology::TwoParty,
+            2 => Topology::Multiparty {
+                n: draw_u32(rng, 3, 5) as usize,
+            },
+            _ => Topology::Competition {
+                cross: match rng.next_u64() % 3 {
+                    0 => CrossTraffic::TcpUp,
+                    1 => CrossTraffic::TcpDown,
+                    _ => CrossTraffic::Vca(
+                        ALL_KINDS[(rng.next_u64() % ALL_KINDS.len() as u64) as usize],
+                    ),
+                },
+            },
+        };
+        Scenario {
+            kind,
+            topology,
+            up: draw_profile(rng, duration_s),
+            down: draw_profile(rng, duration_s),
+            duration_s,
+            seed: rng.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_specs_materialize() {
+        let c = ProfileSpec::Constant { cmbps: 50 }.to_profile();
+        assert_eq!(c.rate_at(SimTime::from_secs(5)), 0.5e6);
+        let s = ProfileSpec::Step {
+            start: 100,
+            at_s: 4,
+            then: 50,
+        }
+        .to_profile();
+        assert_eq!(s.rate_at(SimTime::from_secs(3)), 1e6);
+        assert_eq!(s.rate_at(SimTime::from_secs(4)), 0.5e6);
+        let d = ProfileSpec::Disruption {
+            nominal: 100,
+            reduced: 25,
+            start_s: 5,
+            dur_s: 3,
+        }
+        .to_profile();
+        assert_eq!(d.rate_at(SimTime::from_secs(6)), 0.25e6);
+        assert_eq!(d.rate_at(SimTime::from_secs(8)), 1e6);
+    }
+
+    #[test]
+    fn generated_scenarios_are_valid() {
+        let strat = arb_scenario(8, 16);
+        for seed in 0..50 {
+            let sc = strat.generate(&mut TestRng::seed_from_u64(seed));
+            assert!(sc.duration_s >= 8 && sc.duration_s <= 16);
+            // Profiles must be materializable (panics on invalid specs).
+            let _ = sc.up.to_profile();
+            let _ = sc.down.to_profile();
+            if let Topology::Multiparty { n } = sc.topology {
+                assert!((3..=5).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_two_party_scenario_runs_clean() {
+        let sc = Scenario {
+            kind: VcaKind::Meet,
+            topology: Topology::TwoParty,
+            up: ProfileSpec::Constant { cmbps: 100 },
+            down: ProfileSpec::Constant { cmbps: 100 },
+            duration_s: 8,
+            seed: 1,
+        };
+        let out = run_scenario(&sc);
+        out.assert_clean();
+        assert!(out.checks > 1_000, "expected real audit volume");
+        assert!(out.summary.links.iter().any(|l| l.delivered_pkts > 0));
+    }
+}

@@ -1,0 +1,47 @@
+//! Property-based scenario fuzzing: every generated configuration must run
+//! with zero invariant violations, and identical seeds must produce
+//! byte-identical summaries.
+//!
+//! Case count defaults to 64 and honors `PROPTEST_CASES`. Failing seeds are
+//! persisted to `proptest-regressions/tests/fuzz.txt` and re-run first on
+//! subsequent invocations — commit that file when the fuzzer finds a bug.
+
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use vcabench_testkit::scenario::arb_scenario;
+use vcabench_testkit::{golden, run_scenario};
+
+proptest! {
+    /// Conservation, ordering, occupancy, capacity, monotonicity and
+    /// congestion-bound invariants hold for arbitrary valid scenarios.
+    #[test]
+    fn fuzz_invariants(sc in arb_scenario(8, 30)) {
+        let out = run_scenario(&sc);
+        prop_assert!(
+            out.checks > 0,
+            "no invariant checks ran for {sc:?} — vacuous pass"
+        );
+        prop_assert!(
+            out.violations.is_empty(),
+            "{} invariant violation(s) for {:?}:\n{}",
+            out.violations.len(),
+            sc,
+            out.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// The simulator is deterministic: the same scenario (including seed)
+    /// run twice yields identical integer summaries.
+    #[test]
+    fn fuzz_determinism(sc in arb_scenario(8, 14)) {
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        prop_assert_eq!(
+            golden::render(&a.summary),
+            golden::render(&b.summary)
+        );
+    }
+}

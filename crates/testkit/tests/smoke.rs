@@ -1,0 +1,55 @@
+//! Survival smoke tests: every modeled application must sustain a 40-second
+//! two-party call through a 0.5 Mbps constraint in either direction without
+//! stalling — both ends keep decoding frames and no invariant breaks.
+
+use vcabench_netsim::RateProfile;
+use vcabench_simcore::SimTime;
+use vcabench_vca::{two_party_call, VcaClient, VcaKind};
+
+const KINDS: [VcaKind; 5] = [
+    VcaKind::Zoom,
+    VcaKind::ZoomChrome,
+    VcaKind::Meet,
+    VcaKind::Teams,
+    VcaKind::TeamsChrome,
+];
+
+fn smoke(kind: VcaKind, up: RateProfile, down: RateProfile, label: &str) {
+    let mut call = two_party_call(kind, up, down, 0xC0FFEE);
+    call.net.run_until(SimTime::from_secs(40));
+    let c1: &VcaClient = call.net.agent(call.topo.c1);
+    let c2: &VcaClient = call.net.agent(call.topo.c2);
+    assert!(
+        c1.frames_decoded_from(1) > 0,
+        "{kind:?} {label}: C1 decoded nothing from C2"
+    );
+    assert!(
+        c2.frames_decoded_from(0) > 0,
+        "{kind:?} {label}: C2 decoded nothing from C1"
+    );
+    call.net.assert_invariants();
+}
+
+#[test]
+fn survives_constrained_uplink() {
+    for kind in KINDS {
+        smoke(
+            kind,
+            RateProfile::constant_mbps(0.5),
+            RateProfile::constant_mbps(100.0),
+            "0.5 Mbps uplink",
+        );
+    }
+}
+
+#[test]
+fn survives_constrained_downlink() {
+    for kind in KINDS {
+        smoke(
+            kind,
+            RateProfile::constant_mbps(100.0),
+            RateProfile::constant_mbps(0.5),
+            "0.5 Mbps downlink",
+        );
+    }
+}

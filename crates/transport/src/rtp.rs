@@ -9,6 +9,9 @@
 
 use vcabench_simcore::{SimDuration, SimTime};
 
+#[cfg(feature = "testkit-checks")]
+use vcabench_simcore::{InvariantLog, Violation};
+
 /// Media stream type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamKind {
@@ -167,6 +170,13 @@ pub struct RtpRecvState {
     pub total_received: u64,
     /// Lifetime loss count.
     pub total_lost: u64,
+    /// Sequence numbers delivered at least once (testkit builds only;
+    /// the simulated network never duplicates, so a second first-delivery
+    /// of a seq is an engine bug, not network behavior).
+    #[cfg(feature = "testkit-checks")]
+    seen_seqs: std::collections::HashSet<u64>,
+    #[cfg(feature = "testkit-checks")]
+    audit_log: InvariantLog,
 }
 
 impl RtpRecvState {
@@ -180,11 +190,29 @@ impl RtpRecvState {
             owd_samples: 0,
             total_received: 0,
             total_lost: 0,
+            #[cfg(feature = "testkit-checks")]
+            seen_seqs: std::collections::HashSet::new(),
+            #[cfg(feature = "testkit-checks")]
+            audit_log: InvariantLog::new(),
         }
     }
 
     /// Ingest a packet that arrived at `now` with on-wire size `size`.
     pub fn on_packet(&mut self, now: SimTime, pkt: &RtpPacket, size: usize) {
+        #[cfg(feature = "testkit-checks")]
+        {
+            let fresh = self.seen_seqs.insert(pkt.seq);
+            let seq = pkt.seq;
+            self.audit_log
+                .check(now, "rtp-no-duplicate", fresh || pkt.is_retransmit, || {
+                    format!("seq {seq} delivered twice without being a retransmission")
+                });
+            let capture = pkt.capture_ts;
+            self.audit_log
+                .check(now, "rtp-causal-arrival", now >= capture, || {
+                    format!("packet captured at {capture} arrived earlier, at {now}")
+                });
+        }
         self.current.received += 1;
         self.current.bytes += size as u64;
         self.total_received += 1;
@@ -242,6 +270,18 @@ impl RtpRecvState {
     /// Highest sequence number seen (None before the first packet).
     pub fn highest_seq(&self) -> Option<u64> {
         self.highest_seq
+    }
+
+    /// Violations recorded by this receiver's auditor.
+    #[cfg(feature = "testkit-checks")]
+    pub fn audit_violations(&self) -> &[Violation] {
+        self.audit_log.violations()
+    }
+
+    /// Number of invariant checks this receiver has performed.
+    #[cfg(feature = "testkit-checks")]
+    pub fn audit_checks(&self) -> u64 {
+        self.audit_log.checks_performed()
     }
 
     /// Lifetime loss fraction.
@@ -329,6 +369,22 @@ mod tests {
         let s = r.take_interval();
         assert_eq!(s.lost, 0, "reordered packet is not a loss");
         assert_eq!(s.received, 3);
+    }
+
+    #[cfg(feature = "testkit-checks")]
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let mut r = RtpRecvState::new();
+        r.on_packet(SimTime::from_millis(1), &pkt(0, SimTime::ZERO), 100);
+        r.on_packet(SimTime::from_millis(2), &pkt(0, SimTime::ZERO), 100);
+        assert_eq!(r.audit_violations().len(), 1);
+        assert_eq!(r.audit_violations()[0].invariant, "rtp-no-duplicate");
+        // A retransmitted copy of a seen seq is legitimate recovery.
+        let mut retx = pkt(0, SimTime::ZERO);
+        retx.is_retransmit = true;
+        r.on_packet(SimTime::from_millis(3), &retx, 100);
+        assert_eq!(r.audit_violations().len(), 1);
+        assert!(r.audit_checks() >= 6);
     }
 
     #[test]

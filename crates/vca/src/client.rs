@@ -670,6 +670,25 @@ impl VcaClient {
     }
 }
 
+#[cfg(feature = "testkit-checks")]
+impl VcaClient {
+    /// Invariant violations recorded by this client's RTP receivers
+    /// (duplicate delivery, acausal arrival), ordered by SSRC.
+    pub fn audit_violations(&self) -> Vec<vcabench_simcore::Violation> {
+        let mut ssrcs: Vec<u32> = self.recv.keys().copied().collect();
+        ssrcs.sort_unstable();
+        ssrcs
+            .into_iter()
+            .flat_map(|s| self.recv[&s].rtp.audit_violations().to_vec())
+            .collect()
+    }
+
+    /// Total invariant checks performed by this client's RTP receivers.
+    pub fn audit_checks(&self) -> u64 {
+        self.recv.values().map(|r| r.rtp.audit_checks()).sum()
+    }
+}
+
 impl Agent<Wire> for VcaClient {
     fn start(&mut self, ctx: &mut Ctx<'_, Wire>) {
         if self.join_at > ctx.now {
@@ -765,10 +784,23 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let server = vcabench_netsim::NodeId(9);
         let mk = |kind, rng: &mut SimRng| {
-            VcaClient::new(kind, 0, server, vcabench_netsim::FlowId(1), ViewMode::Gallery, rng)
+            VcaClient::new(
+                kind,
+                0,
+                server,
+                vcabench_netsim::FlowId(1),
+                ViewMode::Gallery,
+                rng,
+            )
         };
-        assert!(matches!(mk(VcaKind::Meet, &mut rng).controller, Controller::Gcc(_)));
-        assert!(matches!(mk(VcaKind::Zoom, &mut rng).controller, Controller::Fbra(_)));
+        assert!(matches!(
+            mk(VcaKind::Meet, &mut rng).controller,
+            Controller::Gcc(_)
+        ));
+        assert!(matches!(
+            mk(VcaKind::Zoom, &mut rng).controller,
+            Controller::Fbra(_)
+        ));
         assert!(matches!(
             mk(VcaKind::ZoomChrome, &mut rng).controller,
             Controller::Fbra(_)

@@ -1,0 +1,177 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the bench targets compiling and executable: each `bench_function`
+//! runs its routine a small fixed number of iterations and prints the mean
+//! wall-clock time. No statistics, warm-up, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark in this offline subset.
+const ITERS: u32 = 3;
+
+/// How batched inputs are sized (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the offline subset ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the offline subset ignores it.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name.into()), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        elapsed: std::time::Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.elapsed / b.iters;
+        println!("bench {label}: {mean:?}/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {label}: no iterations recorded");
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: std::time::Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERS {
+            let t = Instant::now();
+            let out = routine();
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup time untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Prevent the optimizer from discarding a value (best-effort, stable Rust).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, ITERS);
+    }
+
+    #[test]
+    fn iter_batched_uses_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut total = 0u64;
+        g.sample_size(10).bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| total += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(total, 2 * ITERS as u64);
+    }
+}

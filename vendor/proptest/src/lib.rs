@@ -1,0 +1,630 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of proptest that vcabench uses:
+//!
+//! - the [`proptest!`] macro (named-argument `ident in strategy` form),
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! - range strategies, `any::<T>()`, `collection::{vec, btree_set}`,
+//!   `sample::subsequence`, [`strategy::Just`], and `prop_map`,
+//! - regression-seed persistence compatible with the upstream
+//!   `proptest-regressions/*.txt` convention (`cc <hex>` lines are re-run
+//!   before fresh cases, and new failures are appended).
+//!
+//! Differences from upstream: no shrinking (failures report the seed of the
+//! failing case instead of a minimized value), and case generation is fully
+//! deterministic per (file, test name, case index) so CI runs are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case runner with regression-seed persistence.
+
+    use std::collections::BTreeSet;
+    use std::io::Write as _;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    /// Default number of fresh cases per property (override with the
+    /// `PROPTEST_CASES` environment variable).
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// A failed test case (produced by the `prop_assert*` macros).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic RNG driving value generation (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed a generator from a `u64`.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty range");
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+    }
+
+    fn fnv(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Regression file for a given `file!()` path, following the upstream
+    /// layout: `<crate>/proptest-regressions/<source stem>.txt`.
+    fn regression_path(source_file: &str) -> Option<PathBuf> {
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        let rel = match source_file.rfind("src/") {
+            Some(i) => &source_file[i + 4..],
+            None => match source_file.rfind("tests/") {
+                Some(i) => &source_file[i..],
+                None => source_file.rsplit('/').next()?,
+            },
+        };
+        let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+        Some(
+            PathBuf::from(manifest)
+                .join("proptest-regressions")
+                .join(format!("{rel}.txt")),
+        )
+    }
+
+    fn load_regression_seeds(path: &PathBuf) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("cc ") {
+                let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+                let head = &hex[..hex.len().min(16)];
+                if !head.is_empty() {
+                    if let Ok(seed) = u64::from_str_radix(head, 16) {
+                        seeds.push(seed);
+                    }
+                }
+            }
+        }
+        seeds
+    }
+
+    fn persist_failure(path: &PathBuf, seed: u64, message: &str) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let line = format!("cc {seed:016x}");
+        if existing.contains(&line) {
+            return;
+        }
+        let mut f = match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        if existing.is_empty() {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated.\n\
+                 #\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases.",
+            );
+        }
+        let summary: String = message.chars().take(120).collect();
+        let _ = writeln!(f, "{line} # {}", summary.replace('\n', " "));
+    }
+
+    /// Number of fresh cases to run, honoring `PROPTEST_CASES`.
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    /// Execute a property: regression seeds first, then fresh cases. Panics
+    /// on the first failing case, after persisting its seed.
+    pub fn run<F>(source_file: &str, test_name: &str, f: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let path = regression_path(source_file);
+        let mut seeds: Vec<u64> = path.as_ref().map(load_regression_seeds).unwrap_or_default();
+        let n_regress = seeds.len();
+        let base = fnv(format!("{source_file}::{test_name}").as_bytes());
+        seeds.extend(
+            (0..case_count()).map(|i| base ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        // A regression seed may appear twice (base collision); dedup keeps
+        // order stable while avoiding redundant work.
+        let mut seen = BTreeSet::new();
+        seeds.retain(|s| seen.insert(*s));
+
+        for (i, &seed) in seeds.iter().enumerate() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = TestRng::seed_from_u64(seed);
+                f(&mut rng)
+            }));
+            let message = match outcome {
+                Ok(Ok(())) => continue,
+                Ok(Err(e)) => e.message,
+                Err(panic) => {
+                    if let Some(s) = panic.downcast_ref::<String>() {
+                        s.clone()
+                    } else if let Some(s) = panic.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else {
+                        "test case panicked".to_string()
+                    }
+                }
+            };
+            let origin = if i < n_regress { "regression" } else { "fresh" };
+            if let Some(p) = &path {
+                persist_failure(p, seed, &message);
+            }
+            panic!("proptest: {test_name} failed on {origin} case (seed {seed:016x}): {message}");
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64();
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty f32 range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64() as f32;
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as u128 + draw) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (lo as u128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values spanning a wide dynamic range, sign included.
+            let mag = (rng.unit_f64() * 600.0) - 300.0;
+            mag.exp2() * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate ordered sets of values from `element`, size in `size`
+    /// (best-effort when the element domain is too small).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.start, self.size.end);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over fixed collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy yielding order-preserving subsequences of a base vector.
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: Range<usize>,
+    }
+
+    /// Generate subsequences of `items` with length drawn from `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: Range<usize>) -> Subsequence<T> {
+        Subsequence { items, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let hi = self.size.end.min(self.items.len() + 1);
+            let lo = self.size.start.min(hi.saturating_sub(1));
+            let k = rng.usize_in(lo, hi.max(lo + 1));
+            // Partial Fisher-Yates over the index set, then restore order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..k.min(idx.len()) {
+                let j = rng.usize_in(i, idx.len());
+                idx.swap(i, j);
+            }
+            let mut chosen: Vec<usize> = idx.into_iter().take(k).collect();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring upstream.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Supports the `ident in strategy` argument form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(file!(), stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property; failure reports the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn btree_set_sizes(s in crate::collection::btree_set(0u64..1000, 1..20)) {
+            prop_assert!(!s.is_empty() && s.len() < 20);
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            sub in crate::sample::subsequence((0usize..30).collect::<Vec<_>>(), 1..30),
+        ) {
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn any_bool_generates(b in any::<bool>()) {
+            let seen: u8 = b.into();
+            prop_assert!(seen <= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec(0u64..1_000_000, 5..6);
+        let a = strat.generate(&mut TestRng::seed_from_u64(9));
+        let b = strat.generate(&mut TestRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (1u64..2).prop_map(|v| v * 10);
+        assert_eq!(strat.generate(&mut TestRng::seed_from_u64(0)), 10);
+    }
+
+    #[test]
+    fn case_count_has_floor() {
+        assert!(crate::test_runner::case_count() >= 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! `#[derive(Serialize)]` for the vendored serde subset.
+//!
+//! Implemented with hand-rolled token parsing (no `syn`/`quote`, since the
+//! build environment is offline). Supports the shapes vcabench serializes:
+//! named-field structs and enums whose variants are all unit-like. Anything
+//! else produces a `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid code"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error is valid"),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip outer attributes and visibility to find `struct` or `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => return Err(format!("unexpected token before item: {other}")),
+            None => return Err("no struct or enum found".to_string()),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive(Serialize): generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "`{name}` has no braced body (tuple/unit items unsupported)"
+                ))
+            }
+        }
+    };
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kind == "struct" {
+        let fields = parse_named_fields(&inner)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "impl ::serde::Serialize for {name} {{\n    fn to_json_value(&self) -> ::serde::Value {{\n        let mut __m = ::serde::Map::new();\n"
+        ));
+        for f in &fields {
+            out.push_str(&format!(
+                "        __m.insert(::std::string::String::from({f:?}), ::serde::Serialize::to_json_value(&self.{f}));\n"
+            ));
+        }
+        out.push_str("        ::serde::Value::Object(__m)\n    }\n}\n");
+        Ok(out)
+    } else {
+        let variants = parse_unit_variants(&name, &inner)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "impl ::serde::Serialize for {name} {{\n    fn to_json_value(&self) -> ::serde::Value {{\n        match self {{\n"
+        ));
+        for v in &variants {
+            out.push_str(&format!(
+                "            {name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),\n"
+            ));
+        }
+        out.push_str("        }\n    }\n}\n");
+        Ok(out)
+    }
+}
+
+/// Parse `pub? ident: Type,` sequences, skipping attributes and doc comments.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let field = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => {
+                        return Err(format!(
+                            "expected `:` after field `{field}`, found {other:?} (tuple structs unsupported)"
+                        ))
+                    }
+                }
+                // Skip the type: commas inside angle brackets are nested.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                fields.push(field);
+            }
+            other => return Err(format!("unexpected token in struct body: {other}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse unit variants, rejecting tuple/struct variants.
+fn parse_unit_variants(name: &str, tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Skip an explicit discriminant expression.
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                if p.as_char() == ',' {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "derive(Serialize): variant `{name}::{variant}` carries data; only unit enums are supported by the vendored serde"
+                        ));
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "unexpected token after variant `{variant}`: {other}"
+                        ))
+                    }
+                }
+                variants.push(variant);
+            }
+            other => return Err(format!("unexpected token in enum body: {other}")),
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,192 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Formats the vendored serde's [`Value`] tree as JSON text. Output is fully
+//! deterministic: object keys keep insertion order, floats use Rust's
+//! shortest-roundtrip formatting, and non-finite floats render as `null`
+//! (matching upstream's lossy behavior for JSON).
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Map, Value};
+
+use serde::Serialize;
+
+/// Serialization error (the vendored subset is infallible in practice, but
+/// the `Result` shape mirrors upstream).
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render any serializable value as a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON (two-space indent, like upstream).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // `{}` prints integral floats without a decimal point; that
+                // is still valid JSON, and stable, so keep it as-is.
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            write_value,
+            '[',
+            ']',
+        ),
+        Value::Object(map) => write_seq(
+            out,
+            map.iter(),
+            map.len(),
+            indent,
+            depth,
+            |o, (k, val), ind, d| {
+                write_escaped(o, k);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, ind, d);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<&str>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, T, Option<&str>, usize),
+    open: char,
+    close: char,
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(ind);
+            }
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(ind) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(ind);
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_objects() {
+        let mut m: Map<String, Value> = Map::new();
+        m.insert("a".into(), Value::U64(1));
+        m.insert("b".into(), Value::Array(vec![Value::F64(1.5), Value::Null]));
+        let v = Value::Object(m);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.5,null]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": [\n    1.5,\n    null\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&Value::F64(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&Value::F64(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn to_value_round_trips_serialize() {
+        let v = to_value(vec![1u64, 2, 3]).unwrap();
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string(&Value::Object(Map::new())).unwrap(), "{}");
+        assert_eq!(to_string_pretty(&Value::Object(Map::new())).unwrap(), "{}");
+    }
+}
