@@ -1,0 +1,322 @@
+//! Content-addressed result store.
+//!
+//! Each campaign writes one append-only JSONL file, one record per run, keyed
+//! by a stable content hash of the run's *normalized* scenario spec plus a
+//! format salt (crate version). Re-running a campaign skips every run whose
+//! hash is already present; editing a spec (or bumping the crate version)
+//! changes the hash and forces recomputation of exactly the affected runs.
+
+use crate::exec::{execute_runs, RunResult};
+use crate::expand::CampaignSpec;
+use crate::outcome::ScenarioOutcome;
+use crate::spec::ScenarioSpec;
+use serde::{Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Salt mixed into every content hash. Bumping the crate version invalidates
+/// all cached results — the simulator's behaviour is part of the contract.
+const FORMAT_SALT: &str = concat!("vcabench-campaign/", env!("CARGO_PKG_VERSION"), "/v1\n");
+
+/// Stable 128-bit content hash of a scenario, as 32 lowercase hex chars.
+///
+/// Two independent FNV-1a 64-bit passes (distinct offset bases) over the
+/// salt + canonical JSON. Not cryptographic — it only needs to be stable
+/// across runs and platforms and collision-free at campaign scale.
+pub fn content_hash(spec: &ScenarioSpec) -> String {
+    let preimage = format!("{}{}", FORMAT_SALT, spec.canonical_json());
+    let h1 = fnv1a(0xcbf2_9ce4_8422_2325, preimage.as_bytes());
+    let h2 = fnv1a(0x6c62_272e_07bb_0142, preimage.as_bytes());
+    format!("{h1:016x}{h2:016x}")
+}
+
+fn fnv1a(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of one `run_cached` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Expanded runs in the campaign.
+    pub total: usize,
+    /// Runs actually simulated this invocation.
+    pub computed: usize,
+    /// Runs served from the store.
+    pub cached: usize,
+    /// The campaign's JSONL file.
+    pub store_path: PathBuf,
+    /// Every record, in expansion order (cached and fresh alike).
+    pub results: Vec<StoredRecord>,
+}
+
+/// One stored (or just-computed) run record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    /// Content hash of the normalized spec.
+    pub hash: String,
+    /// Run label at the time it was (first) computed.
+    pub label: String,
+    /// The record's JSONL line (compact JSON, no trailing newline).
+    pub line: String,
+}
+
+fn record_line(hash: &str, label: &str, spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> String {
+    let mut m = serde::Map::new();
+    m.insert("hash".to_string(), Value::String(hash.to_string()));
+    m.insert("label".to_string(), Value::String(label.to_string()));
+    m.insert("spec".to_string(), spec.normalized().to_json_value());
+    m.insert("outcome".to_string(), outcome.to_json_value());
+    serde_json::to_string(&Value::Object(m)).expect("record serializes")
+}
+
+/// Read a store file's records, keyed by hash. Unreadable lines are an error
+/// (the store is machine-written; silent tolerance would mask corruption).
+fn load_store(path: &Path) -> Result<BTreeMap<String, StoredRecord>, String> {
+    let mut records = BTreeMap::new();
+    if !path.exists() {
+        return Ok(records);
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{}:{}: bad record: {e}", path.display(), ln + 1))?;
+        let hash = v
+            .get("hash")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{}:{}: record missing hash", path.display(), ln + 1))?
+            .to_string();
+        let label = v
+            .get("label")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        records.insert(
+            hash.clone(),
+            StoredRecord {
+                hash,
+                label,
+                line: line.to_string(),
+            },
+        );
+    }
+    Ok(records)
+}
+
+/// Execute `campaign`, serving runs from the store under `dir` where possible.
+///
+/// The store file is `<dir>/<campaign name>.jsonl`. Runs whose content hash
+/// already appears there are not recomputed (unless `rerun`, which recomputes
+/// everything and rewrites the file). Fresh records are appended in expansion
+/// order, so the file's record order is stable across jobs counts and across
+/// cached/uncached invocations.
+pub fn run_cached(
+    campaign: &CampaignSpec,
+    jobs: usize,
+    dir: &Path,
+    rerun: bool,
+    runner: &(impl Fn(&ScenarioSpec) -> ScenarioOutcome + Sync),
+) -> Result<CampaignSummary, String> {
+    let runs = campaign.expand()?;
+    let store_path = dir.join(format!("{}.jsonl", crate::spec::slug(&campaign.name)));
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let known = if rerun {
+        BTreeMap::new()
+    } else {
+        load_store(&store_path)?
+    };
+
+    // A campaign may expand two identical specs under different labels;
+    // compute each distinct hash once.
+    let hashes: Vec<String> = runs.iter().map(|r| content_hash(&r.spec)).collect();
+    let mut to_compute: Vec<usize> = Vec::new();
+    let mut claimed: BTreeSet<&str> = BTreeSet::new();
+    for (i, hash) in hashes.iter().enumerate() {
+        if !known.contains_key(hash) && claimed.insert(hash.as_str()) {
+            to_compute.push(i);
+        }
+    }
+
+    let fresh_runs: Vec<_> = to_compute.iter().map(|&i| runs[i].clone()).collect();
+    let fresh: Vec<RunResult> = execute_runs(&fresh_runs, jobs, runner);
+    let mut computed: BTreeMap<String, StoredRecord> = BTreeMap::new();
+    for result in &fresh {
+        let hash = content_hash(&result.run.spec);
+        let line = record_line(&hash, &result.run.label, &result.run.spec, &result.outcome);
+        computed.insert(
+            hash.clone(),
+            StoredRecord {
+                hash,
+                label: result.run.label.clone(),
+                line,
+            },
+        );
+    }
+
+    // Assemble the full record list in expansion order and append the new
+    // lines (or rewrite the file entirely under --rerun).
+    let mut results = Vec::with_capacity(runs.len());
+    let mut new_lines = Vec::new();
+    let mut appended: BTreeSet<&str> = BTreeSet::new();
+    for (run, hash) in runs.iter().zip(&hashes) {
+        let record = known
+            .get(hash)
+            .or_else(|| computed.get(hash))
+            .unwrap_or_else(|| panic!("run `{}` neither cached nor computed", run.label))
+            .clone();
+        if !known.contains_key(hash) && appended.insert(hash.as_str()) {
+            new_lines.push(record.line.clone());
+        }
+        results.push(record);
+    }
+
+    if rerun {
+        let mut body = new_lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        std::fs::write(&store_path, body)
+            .map_err(|e| format!("write {}: {e}", store_path.display()))?;
+    } else if !new_lines.is_empty() {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&store_path)
+            .map_err(|e| format!("open {}: {e}", store_path.display()))?;
+        for line in &new_lines {
+            writeln!(file, "{line}")
+                .map_err(|e| format!("append {}: {e}", store_path.display()))?;
+        }
+    }
+
+    Ok(CampaignSummary {
+        total: runs.len(),
+        computed: fresh.len(),
+        cached: runs.len() - to_compute.len(),
+        store_path,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{Axes, ScenarioTemplate, SeedAxis};
+    use crate::outcome::MultipartyRecord;
+    use crate::spec::MultipartySpec;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vcabench_vca::VcaKind;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vcabench-campaign-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn toy_campaign(name: &str, seeds: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            scenarios: vec![ScenarioTemplate {
+                label: None,
+                base: ScenarioSpec::Multiparty(MultipartySpec {
+                    kind: VcaKind::Meet,
+                    n: 4,
+                    pin_c1: None,
+                    duration_secs: 20.0,
+                    seed: 0,
+                }),
+                axes: Some(Axes {
+                    kinds: None,
+                    up_mbps: None,
+                    down_mbps: None,
+                    capacity_mbps: None,
+                    competitors: None,
+                    seeds: Some(SeedAxis::Range {
+                        base: 1,
+                        count: seeds,
+                    }),
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_spec_sensitive() {
+        let campaign = toy_campaign("h", 2);
+        let runs = campaign.expand().unwrap();
+        assert_eq!(content_hash(&runs[0].spec), content_hash(&runs[0].spec));
+        assert_ne!(content_hash(&runs[0].spec), content_hash(&runs[1].spec));
+        assert_eq!(content_hash(&runs[0].spec).len(), 32);
+    }
+
+    #[test]
+    fn cache_hit_miss_and_rerun() {
+        let dir = temp_dir("cache");
+        let calls = AtomicUsize::new(0);
+        let runner = |spec: &ScenarioSpec| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            ScenarioOutcome::Multiparty(MultipartyRecord {
+                c1_up_mbps: spec.seed() as f64,
+                c1_down_mbps: 0.0,
+            })
+        };
+        let campaign = toy_campaign("c", 3);
+
+        let first = run_cached(&campaign, 2, &dir, false, &runner).unwrap();
+        assert_eq!((first.total, first.computed, first.cached), (3, 3, 0));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+
+        let second = run_cached(&campaign, 2, &dir, false, &runner).unwrap();
+        assert_eq!((second.total, second.computed, second.cached), (3, 0, 3));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(first.results, second.results);
+
+        // Growing the campaign computes only the new runs.
+        let grown = toy_campaign("c", 5);
+        let third = run_cached(&grown, 2, &dir, false, &runner).unwrap();
+        assert_eq!((third.total, third.computed, third.cached), (5, 2, 3));
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+
+        // --rerun recomputes everything and rewrites the file.
+        let fourth = run_cached(&grown, 2, &dir, true, &runner).unwrap();
+        assert_eq!((fourth.total, fourth.computed, fourth.cached), (5, 5, 0));
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert_eq!(fourth.results, third.results);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_file_is_byte_identical_across_jobs() {
+        let runner = |spec: &ScenarioSpec| {
+            ScenarioOutcome::Multiparty(MultipartyRecord {
+                c1_up_mbps: (spec.seed() * 7) as f64 / 3.0,
+                c1_down_mbps: (spec.seed() * 11) as f64 / 7.0,
+            })
+        };
+        let campaign = toy_campaign("jobs", 9);
+        let dir1 = temp_dir("jobs1");
+        let dir4 = temp_dir("jobs4");
+        run_cached(&campaign, 1, &dir1, false, &runner).unwrap();
+        run_cached(&campaign, 4, &dir4, false, &runner).unwrap();
+        let name = "jobs.jsonl";
+        let bytes1 = std::fs::read(dir1.join(name)).unwrap();
+        let bytes4 = std::fs::read(dir4.join(name)).unwrap();
+        assert!(!bytes1.is_empty());
+        assert_eq!(bytes1, bytes4);
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir4);
+    }
+}

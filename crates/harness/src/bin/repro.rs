@@ -1,56 +1,176 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, or run a
+//! declarative experiment campaign.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--json <path>]
-//!
-//! experiments:
-//!   table2   unconstrained utilization
-//!   fig1     static shaping sweeps (a: uplink, b: downlink, c: browser/native)
-//!   fig2     encoding parameters vs capacity (Meet, Teams-Chrome)
-//!   fig3     freeze ratio and FIR counts
-//!   fig4     uplink disruptions (timelines + TTR)      [also runs fig5, fig6]
-//!   fig8     VCA vs VCA shares (also fig10)
-//!   fig9     VCA vs VCA timelines (Zoom-Zoom, Meet-Meet @0.5; fig11 @1.0)
-//!   fig12    VCA vs TCP (iPerf3)                       [also runs fig13]
-//!   fig14    Zoom vs Netflix
-//!   fig15    call modalities
-//!   all      everything above
+//! repro <experiment> [--quick] [--json <path>] [--jobs <n>]
+//! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun]
 //! ```
 //!
 //! `--quick` uses reduced presets (coarser sweeps, fewer repetitions);
-//! `--json <path>` additionally writes machine-readable results.
+//! `--json <path>` additionally writes machine-readable results;
+//! `--jobs <n>` parallelizes the campaign-driven experiments (fig1, fig8,
+//! campaign) without changing any output byte.
 
 use std::io::Write;
+use std::path::PathBuf;
 
+use vcabench_campaign::{slug, CampaignSpec};
 use vcabench_harness::experiments::*;
 use vcabench_vca::VcaKind;
 
+/// Every experiment name the positional argument accepts.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table2", "unconstrained utilization"),
+    (
+        "fig1",
+        "static shaping sweeps (a: uplink, b: downlink, c: browser/native)",
+    ),
+    (
+        "fig2",
+        "encoding parameters vs capacity (Meet, Teams-Chrome)",
+    ),
+    ("fig3", "freeze ratio and FIR counts"),
+    (
+        "fig4",
+        "uplink disruptions: timelines + TTR [also runs fig5, fig6]",
+    ),
+    ("fig5", "downlink disruptions (alias: runs the fig4 group)"),
+    (
+        "fig6",
+        "C2 upstream during downlink disruption (alias: fig4 group)",
+    ),
+    ("fig8", "VCA vs VCA uplink shares [also runs fig10]"),
+    ("fig9", "VCA vs VCA timelines @0.5 Mbps [also runs fig11]"),
+    (
+        "fig10",
+        "VCA vs VCA downlink shares (alias: runs the fig8 group)",
+    ),
+    (
+        "fig11",
+        "Teams vs Zoom timeline @1.0 Mbps (alias: runs the fig9 group)",
+    ),
+    ("fig12", "VCA vs TCP (iPerf3) [also runs fig13]"),
+    (
+        "fig13",
+        "Zoom probe burst vs iPerf3 (alias: runs the fig12 group)",
+    ),
+    ("fig14", "Zoom vs Netflix"),
+    ("fig15", "call modalities"),
+    ("ext", "extensions: impairments grid + model ablations"),
+    ("all", "everything above"),
+];
+
+fn print_help() {
+    println!("usage: repro <experiment> [--quick] [--json <path>] [--jobs <n>]");
+    println!("       repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun]");
+    println!();
+    println!("experiments:");
+    for (name, desc) in EXPERIMENTS {
+        println!("  {name:<8} {desc}");
+    }
+    println!();
+    println!("subcommands:");
+    println!("  campaign <spec.json>  expand and run a declarative campaign spec;");
+    println!("                        results are cached under --out (default");
+    println!("                        campaign-results/) keyed by content hash");
+    println!();
+    println!("options:");
+    println!("  --quick        reduced presets (coarser sweeps, fewer repetitions)");
+    println!("  --json <path>  also write machine-readable results to <path>");
+    println!("  --jobs <n>     worker threads for campaign-driven runs (default 1;");
+    println!("                 output is byte-identical for any n)");
+    println!("  --out <dir>    campaign result-store directory");
+    println!("  --rerun        recompute cached campaign runs");
+}
+
 struct Args {
     experiment: String,
+    spec_path: Option<String>,
     quick: bool,
     json: Option<String>,
+    jobs: usize,
+    out: PathBuf,
+    rerun: bool,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("try `repro --help`");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut experiment = String::from("all");
+    let mut positionals: Vec<String> = Vec::new();
     let mut quick = false;
     let mut json = None;
+    let mut jobs = 1usize;
+    let mut out = PathBuf::from("campaign-results");
+    let mut rerun = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--json" => json = it.next(),
+            "--rerun" => rerun = true,
+            "--json" => {
+                json = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--json requires a path argument")),
+                );
+            }
+            "--out" => {
+                out = PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--out requires a directory argument")),
+                );
+            }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs requires a number argument"));
+                jobs = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--jobs expects a positive integer, got `{v}`"))
+                });
+                if jobs == 0 {
+                    usage_error("--jobs must be at least 1");
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: repro <table2|fig1|fig2|fig3|fig4|fig8|fig9|fig12|fig14|fig15|ext|all> [--quick] [--json <path>]");
+                print_help();
                 std::process::exit(0);
             }
-            other => experiment = other.to_string(),
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown option `{other}`"));
+            }
+            other => positionals.push(other.to_string()),
         }
     }
+    let experiment = match positionals.len() {
+        0 => "all".to_string(),
+        _ => positionals[0].clone(),
+    };
+    let spec_path = if experiment == "campaign" {
+        match positionals.len() {
+            1 => usage_error("campaign requires a spec file: repro campaign <spec.json>"),
+            2 => Some(positionals[1].clone()),
+            _ => usage_error(&format!("unexpected argument `{}`", positionals[2])),
+        }
+    } else {
+        if positionals.len() > 1 {
+            usage_error(&format!("unexpected argument `{}`", positionals[1]));
+        }
+        if !EXPERIMENTS.iter().any(|(name, _)| *name == experiment) {
+            usage_error(&format!("unknown experiment `{experiment}`"));
+        }
+        None
+    };
     Args {
         experiment,
+        spec_path,
         quick,
         json,
+        jobs,
+        out,
+        rerun,
     }
 }
 
@@ -67,15 +187,46 @@ fn emit_json(
     }
 }
 
+fn run_campaign_command(args: &Args) -> ! {
+    let path = args.spec_path.as_ref().expect("campaign has a spec path");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("repro: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let campaign = CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("repro: {path}: {e}");
+        std::process::exit(1);
+    });
+    let summary =
+        vcabench_harness::run_campaign_cached(&campaign, args.jobs, &args.out, args.rerun)
+            .unwrap_or_else(|e| {
+                eprintln!("repro: campaign `{}`: {e}", campaign.name);
+                std::process::exit(1);
+            });
+    println!(
+        "campaign `{}`: {} runs ({} computed, {} cached) -> {}",
+        campaign.name,
+        summary.total,
+        summary.computed,
+        summary.cached,
+        summary.store_path.display()
+    );
+    for record in &summary.results {
+        println!("  {} {}", &record.hash[..12], record.label);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if args.experiment == "campaign" {
+        run_campaign_command(&args);
+    }
     let mut json_out = args.json.as_ref().map(|_| serde_json::Map::new());
     let all = args.experiment == "all";
     let want = |name: &str| all || args.experiment == name;
-    let mut matched = false;
 
     if want("table2") {
-        matched = true;
         let cfg = if args.quick {
             table2::Table2Config::quick()
         } else {
@@ -87,19 +238,17 @@ fn main() {
         println!();
     }
     if want("fig1") {
-        matched = true;
         let cfg = if args.quick {
             fig1::Fig1Config::quick()
         } else {
             fig1::Fig1Config::default()
         };
-        let r = fig1::run(&cfg);
+        let r = fig1::run_campaign(&cfg, args.jobs);
         fig1::print(&r);
         emit_json(&mut json_out, "fig1", &r);
         println!();
     }
     if want("fig2") {
-        matched = true;
         let cfg = if args.quick {
             fig2::Fig2Config::quick()
         } else {
@@ -111,7 +260,6 @@ fn main() {
         println!();
     }
     if want("fig3") {
-        matched = true;
         let cfg = if args.quick {
             fig3::Fig3Config::quick()
         } else {
@@ -123,7 +271,6 @@ fn main() {
         println!();
     }
     if want("fig4") || want("fig5") || want("fig6") {
-        matched = true;
         let cfg = if args.quick {
             fig4_5_6::DisruptionConfig::quick()
         } else {
@@ -135,24 +282,40 @@ fn main() {
         println!();
     }
     if want("fig8") || want("fig10") {
-        matched = true;
         let cfg = if args.quick {
             fig8_to_11::VcaCompetitionConfig::quick()
         } else {
             fig8_to_11::VcaCompetitionConfig::default()
         };
-        let r = fig8_to_11::run(&cfg);
+        let r = fig8_to_11::run_campaign(&cfg, args.jobs);
         fig8_to_11::print(&r);
         emit_json(&mut json_out, "fig8_10", &r);
         println!();
     }
     if want("fig9") || want("fig11") {
-        matched = true;
         println!("Fig 9/11: single-run competition timelines (summaries)");
-        for (a, b, cap, label) in [
-            (VcaKind::Zoom, VcaKind::Zoom, 0.5, "fig9a Zoom-Zoom @0.5"),
-            (VcaKind::Meet, VcaKind::Meet, 0.5, "fig9b Meet-Meet @0.5"),
-            (VcaKind::Teams, VcaKind::Zoom, 1.0, "fig11 Teams-Zoom @1.0"),
+        for (a, b, cap, fig, label) in [
+            (
+                VcaKind::Zoom,
+                VcaKind::Zoom,
+                0.5,
+                "fig9a",
+                "fig9a Zoom-Zoom @0.5",
+            ),
+            (
+                VcaKind::Meet,
+                VcaKind::Meet,
+                0.5,
+                "fig9b",
+                "fig9b Meet-Meet @0.5",
+            ),
+            (
+                VcaKind::Teams,
+                VcaKind::Zoom,
+                1.0,
+                "fig11",
+                "fig11 Teams-Zoom @1.0",
+            ),
         ] {
             let t = fig8_to_11::run_timeline(a, b, cap, 91);
             let from = vcabench_simcore::SimTime::from_secs(90);
@@ -182,12 +345,22 @@ fn main() {
                     Some(150.0)
                 )
             );
-            emit_json(&mut json_out, label, &t);
+            // Stable snake_case key; the display label rides along inside.
+            let key = slug(&format!("{fig} {} {} {cap:.1}", a.name(), b.name()));
+            let mut v = serde_json::to_value(&t).expect("serializable timeline");
+            if let serde_json::Value::Object(map) = &mut v {
+                map.insert(
+                    "label".to_string(),
+                    serde_json::Value::String(label.to_string()),
+                );
+            }
+            if let Some(map) = json_out.as_mut() {
+                map.insert(key, v);
+            }
         }
         println!();
     }
     if want("fig12") || want("fig13") {
-        matched = true;
         let cfg = if args.quick {
             fig12_13::TcpCompetitionConfig::quick()
         } else {
@@ -225,7 +398,6 @@ fn main() {
         println!();
     }
     if want("fig14") {
-        matched = true;
         let cfg = if args.quick {
             fig14::Fig14Config::quick()
         } else {
@@ -237,7 +409,6 @@ fn main() {
         println!();
     }
     if want("ext") {
-        matched = true;
         let cfg = if args.quick {
             ext::ImpairmentsConfig::quick()
         } else {
@@ -252,7 +423,6 @@ fn main() {
         println!();
     }
     if want("fig15") {
-        matched = true;
         let cfg = if args.quick {
             fig15::Fig15Config::quick()
         } else {
@@ -264,10 +434,6 @@ fn main() {
         println!();
     }
 
-    if !matched {
-        eprintln!("unknown experiment '{}'; try --help", args.experiment);
-        std::process::exit(2);
-    }
     if let (Some(path), Some(map)) = (args.json, json_out) {
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(

@@ -1,0 +1,274 @@
+//! Harness ↔ campaign glue: execute declarative [`ScenarioSpec`]s on the
+//! simulator.
+//!
+//! `vcabench-campaign` owns the spec language, the parallel executor and the
+//! result store but deliberately knows nothing about the simulator; this
+//! module supplies the runner callback mapping each spec onto the shared
+//! runners in [`crate::run`] and summarizing the outcome into the campaign
+//! crate's serializable records.
+
+use std::path::Path;
+
+use vcabench_campaign::{
+    CampaignSpec, CampaignSummary, CompetitionRecord, CompetitorSpec, MultipartyRecord, RunResult,
+    Sample, ScenarioOutcome, ScenarioSpec, TwoPartyRecord,
+};
+use vcabench_netsim::RateProfile;
+use vcabench_simcore::{SimDuration, SimTime};
+use vcabench_vca::VcaKind;
+
+use crate::run::{
+    run_competition, run_multiparty, run_two_party_with, CompetitionConfig, Competitor,
+    TwoPartyOutcome, BIN,
+};
+
+/// Offset of the share-measurement window from the competitor's start
+/// (Fig 8/10 measure after a 3 s ramp).
+pub const SHARE_WINDOW_DELAY: SimDuration = SimDuration::from_secs(3);
+/// Length of the share-measurement window (the early contention window;
+/// see the deviation note in `experiments::fig8_to_11`).
+pub const SHARE_WINDOW_LEN: SimDuration = SimDuration::from_secs(45);
+
+/// Convert a 100 ms-binned Mbps series into `(t_secs, mbps)` samples.
+fn samples(series: &[f64]) -> Vec<Sample> {
+    series
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ((i as u64 * BIN.as_micros()) as f64 / 1e6, v))
+        .collect()
+}
+
+/// Find a disruption window in a shaping profile: the first step that drops
+/// the rate, paired with the next step that raises it back.
+fn disruption_window(profile: &RateProfile) -> Option<(SimTime, SimTime)> {
+    let steps = profile.steps();
+    let drop = steps.windows(2).position(|w| w[1].1 < w[0].1)? + 1;
+    let recover = steps[drop..]
+        .iter()
+        .find(|(_, rate)| *rate > steps[drop].1)?;
+    Some((steps[drop].0, recover.0))
+}
+
+/// Execute one concrete scenario. Pure in the spec: equal specs produce
+/// equal outcomes (the determinism the result cache relies on).
+pub fn run_spec(spec: &ScenarioSpec) -> ScenarioOutcome {
+    match spec.normalized() {
+        ScenarioSpec::TwoParty(s) => {
+            let duration = SimDuration::from_secs_f64(s.duration_secs);
+            let knobs = s.knobs.clone();
+            let out = run_two_party_with(
+                s.kind,
+                s.up.clone(),
+                s.down.clone(),
+                duration,
+                s.seed,
+                |c1| {
+                    if let Some(knobs) = &knobs {
+                        if let Some(enable) = knobs.teams_width_bug {
+                            c1.set_teams_width_bug(enable);
+                        }
+                        if let (Some(min), Some(max)) = (knobs.min_rate_mbps, knobs.max_rate_mbps) {
+                            c1.set_rate_bounds(min, max);
+                        }
+                    }
+                },
+            );
+            let settle = SimTime::ZERO + duration / 4;
+            let (ttr_secs, nominal_mbps) = match disruption_window(&s.up)
+                .map(|w| (w, &out.up_series))
+                .or_else(|| disruption_window(&s.down).map(|w| (w, &out.down_series)))
+            {
+                Some(((d_start, d_end), series)) => {
+                    let ttr = out.ttr(series, d_start, d_end);
+                    (ttr.ttr.map(|d| d.as_secs_f64()), Some(ttr.nominal_mbps))
+                }
+                None => (None, None),
+            };
+            ScenarioOutcome::TwoParty(TwoPartyRecord {
+                steady_up_mbps: TwoPartyOutcome::median_between(
+                    &out.up_series,
+                    settle,
+                    out.duration,
+                ),
+                steady_down_mbps: TwoPartyOutcome::median_between(
+                    &out.down_series,
+                    settle,
+                    out.duration,
+                ),
+                ttr_secs,
+                nominal_mbps,
+                firs_received: out.c1_firs_received,
+                freeze_secs: out.c1_freeze_time.as_secs_f64(),
+                frames_decoded: out.c1_frames_decoded,
+                target_series: out
+                    .c1_stats
+                    .iter()
+                    .map(|s| (s.t.as_secs_f64(), s.target_mbps))
+                    .collect(),
+                up_series: samples(&out.up_series),
+                down_series: samples(&out.down_series),
+            })
+        }
+        ScenarioSpec::Competition(s) => {
+            let cfg = CompetitionConfig {
+                incumbent: s.incumbent,
+                competitor: competitor_from_spec(s.competitor),
+                capacity_mbps: s.capacity_mbps,
+                competitor_start: SimDuration::from_secs_f64(
+                    s.competitor_start_secs.expect("normalized"),
+                ),
+                competitor_duration: SimDuration::from_secs_f64(
+                    s.competitor_duration_secs.expect("normalized"),
+                ),
+                total: SimDuration::from_secs_f64(s.total_secs.expect("normalized")),
+                seed: s.seed,
+            };
+            let out = run_competition(&cfg);
+            let from = SimTime::ZERO + cfg.competitor_start + SHARE_WINDOW_DELAY;
+            let to = from + SHARE_WINDOW_LEN;
+            ScenarioOutcome::Competition(CompetitionRecord {
+                up_share: out.up_share(from, to),
+                down_share: out.down_share(from, to),
+                netflix_conns: out.netflix_conns as usize,
+                inc_up: samples(&out.inc_up),
+                inc_down: samples(&out.inc_down),
+                comp_up: samples(&out.comp_up),
+                comp_down: samples(&out.comp_down),
+            })
+        }
+        ScenarioSpec::Multiparty(s) => {
+            let out = run_multiparty(
+                s.kind,
+                s.n,
+                s.pin_c1.expect("normalized"),
+                SimDuration::from_secs_f64(s.duration_secs),
+                s.seed,
+            );
+            ScenarioOutcome::Multiparty(MultipartyRecord {
+                c1_up_mbps: out.c1_up_mbps,
+                c1_down_mbps: out.c1_down_mbps,
+            })
+        }
+    }
+}
+
+/// Map the spec-level competitor onto the harness runner's enum.
+pub fn competitor_from_spec(spec: CompetitorSpec) -> Competitor {
+    match spec {
+        CompetitorSpec::Vca(kind) => Competitor::Vca(kind),
+        CompetitorSpec::IperfUp => Competitor::IperfUp,
+        CompetitorSpec::IperfDown => Competitor::IperfDown,
+        CompetitorSpec::Netflix => Competitor::Netflix,
+        CompetitorSpec::Youtube => Competitor::Youtube,
+    }
+}
+
+/// A two-party spec with unconstrained links and no knobs (the usual
+/// starting point for campaign templates).
+pub fn unshaped_two_party(kind: VcaKind, duration_secs: f64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::TwoParty(vcabench_campaign::TwoPartySpec {
+        kind,
+        up: RateProfile::constant_mbps(1000.0),
+        down: RateProfile::constant_mbps(1000.0),
+        duration_secs,
+        seed,
+        knobs: None,
+    })
+}
+
+/// Expand and execute a campaign on `jobs` workers (no cache).
+pub fn run_campaign(campaign: &CampaignSpec, jobs: usize) -> Result<Vec<RunResult>, String> {
+    vcabench_campaign::execute(campaign, jobs, run_spec)
+}
+
+/// Expand and execute a campaign with the content-addressed result store
+/// under `dir`; cached runs are not recomputed unless `rerun`.
+pub fn run_campaign_cached(
+    campaign: &CampaignSpec,
+    jobs: usize,
+    dir: &Path,
+    rerun: bool,
+) -> Result<CampaignSummary, String> {
+    vcabench_campaign::run_cached(campaign, jobs, dir, rerun, &run_spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcabench_campaign::{CompetitionSpec, MultipartySpec};
+
+    #[test]
+    fn two_party_spec_matches_direct_runner() {
+        let spec = match unshaped_two_party(VcaKind::Zoom, 30.0, 1) {
+            ScenarioSpec::TwoParty(mut s) => {
+                s.up = RateProfile::constant_mbps(0.8);
+                ScenarioSpec::TwoParty(s)
+            }
+            other => other,
+        };
+        let outcome = run_spec(&spec);
+        let direct = crate::run::run_two_party(
+            VcaKind::Zoom,
+            RateProfile::constant_mbps(0.8),
+            RateProfile::constant_mbps(1000.0),
+            SimDuration::from_secs(30),
+            1,
+        );
+        let settle = SimTime::ZERO + SimDuration::from_secs(30) / 4;
+        let expect = TwoPartyOutcome::median_between(&direct.up_series, settle, direct.duration);
+        match outcome {
+            ScenarioOutcome::TwoParty(r) => {
+                assert_eq!(r.steady_up_mbps, expect);
+                assert_eq!(r.up_series.len(), direct.up_series.len());
+                assert!(r.ttr_secs.is_none() && r.nominal_mbps.is_none());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disruption_window_detection() {
+        let flat = RateProfile::constant_mbps(1.0);
+        assert_eq!(disruption_window(&flat), None);
+        let dip = RateProfile::disruption(
+            1e9,
+            0.25e6,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(30),
+        );
+        let (start, end) = disruption_window(&dip).unwrap();
+        assert_eq!(start, SimTime::from_secs(60));
+        assert_eq!(end, SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn competition_and_multiparty_specs_run() {
+        let comp = ScenarioSpec::Competition(CompetitionSpec {
+            incumbent: VcaKind::Teams,
+            competitor: CompetitorSpec::IperfUp,
+            capacity_mbps: 2.0,
+            competitor_start_secs: Some(10.0),
+            competitor_duration_secs: Some(40.0),
+            total_secs: Some(60.0),
+            seed: 3,
+        });
+        match run_spec(&comp) {
+            ScenarioOutcome::Competition(r) => {
+                assert!(r.up_share > 0.0 && r.up_share < 1.0, "share {}", r.up_share);
+                assert!(!r.inc_up.is_empty());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let multi = ScenarioSpec::Multiparty(MultipartySpec {
+            kind: VcaKind::Meet,
+            n: 3,
+            pin_c1: None,
+            duration_secs: 20.0,
+            seed: 5,
+        });
+        match run_spec(&multi) {
+            ScenarioOutcome::Multiparty(r) => assert!(r.c1_up_mbps > 0.0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

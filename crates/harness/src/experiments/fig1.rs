@@ -10,6 +10,9 @@
 //! calls each.
 
 use serde::Serialize;
+use vcabench_campaign::{
+    Axes, CampaignSpec, ScenarioOutcome, ScenarioSpec, ScenarioTemplate, SeedAxis, TwoPartySpec,
+};
 use vcabench_netsim::RateProfile;
 use vcabench_simcore::{SimDuration, SimTime};
 use vcabench_stats::ci90;
@@ -168,6 +171,127 @@ pub fn run(cfg: &Fig1Config) -> Fig1Result {
     }
 }
 
+/// The panel's VCA set.
+fn panel_kinds(cfg_panel: Panel) -> Vec<VcaKind> {
+    match cfg_panel {
+        Panel::Uplink | Panel::Downlink => VcaKind::NATIVE.to_vec(),
+        Panel::BrowserNative => vec![
+            VcaKind::Zoom,
+            VcaKind::ZoomChrome,
+            VcaKind::Teams,
+            VcaKind::TeamsChrome,
+        ],
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Panel {
+    Uplink,
+    Downlink,
+    BrowserNative,
+}
+
+const PANELS: [Panel; 3] = [Panel::Uplink, Panel::Downlink, Panel::BrowserNative];
+
+fn panel_template(cfg: &Fig1Config, panel: Panel) -> ScenarioTemplate {
+    let (label, direction) = match panel {
+        Panel::Uplink => ("fig1a", Direction::Up),
+        Panel::Downlink => ("fig1b", Direction::Down),
+        Panel::BrowserNative => ("fig1c", Direction::Up),
+    };
+    let kinds = panel_kinds(panel);
+    let (up_axis, down_axis) = match direction {
+        Direction::Up => (Some(cfg.caps.clone()), None),
+        Direction::Down => (None, Some(cfg.caps.clone())),
+    };
+    ScenarioTemplate {
+        label: Some(label.to_string()),
+        base: ScenarioSpec::TwoParty(TwoPartySpec {
+            kind: kinds[0],
+            up: RateProfile::constant_mbps(1000.0),
+            down: RateProfile::constant_mbps(1000.0),
+            duration_secs: cfg.call.as_secs_f64(),
+            seed: cfg.seed,
+            knobs: None,
+        }),
+        axes: Some(Axes {
+            kinds: Some(kinds),
+            up_mbps: up_axis,
+            down_mbps: down_axis,
+            capacity_mbps: None,
+            competitors: None,
+            seeds: Some(SeedAxis::Range {
+                base: cfg.seed,
+                count: cfg.reps,
+            }),
+        }),
+    }
+}
+
+/// The Fig 1 sweeps as a declarative campaign: one template per panel,
+/// expanded kinds → capacities → seeds to match [`run_sweep`]'s run order.
+pub fn campaign_spec(cfg: &Fig1Config) -> CampaignSpec {
+    CampaignSpec {
+        name: "fig1".to_string(),
+        scenarios: PANELS.iter().map(|&p| panel_template(cfg, p)).collect(),
+    }
+}
+
+/// Run Fig 1 through the campaign engine on `jobs` workers. Numerically
+/// identical to [`run`] — same runs, same seeds, same statistics.
+pub fn run_campaign(cfg: &Fig1Config, jobs: usize) -> Fig1Result {
+    let results =
+        crate::campaign::run_campaign(&campaign_spec(cfg), jobs).expect("fig1 campaign expands");
+    // Expansion order is panel → kind → capacity → seed, so the flat result
+    // list slices directly back into the three panels.
+    let steady: Vec<(f64, f64)> = results
+        .iter()
+        .map(|r| match &r.outcome {
+            ScenarioOutcome::TwoParty(t) => (t.steady_up_mbps, t.steady_down_mbps),
+            other => panic!("fig1 expects two-party outcomes, got {other:?}"),
+        })
+        .collect();
+    let mut offset = 0;
+    let mut panels = Vec::new();
+    for panel in PANELS {
+        let direction = match panel {
+            Panel::Uplink | Panel::BrowserNative => Direction::Up,
+            Panel::Downlink => Direction::Down,
+        };
+        let kinds = panel_kinds(panel);
+        let mut points = Vec::new();
+        for kind in &kinds {
+            for &cap in &cfg.caps {
+                let vals: Vec<f64> = steady[offset..offset + cfg.reps as usize]
+                    .iter()
+                    .map(|&(up, down)| match direction {
+                        Direction::Up => up,
+                        Direction::Down => down,
+                    })
+                    .collect();
+                offset += cfg.reps as usize;
+                let s = ci90(&vals);
+                points.push(SweepPoint {
+                    vca: kind.name().to_string(),
+                    cap_mbps: cap,
+                    median_mbps: s.mean,
+                    ci: s.hi - s.mean,
+                });
+            }
+        }
+        panels.push(SweepResult { direction, points });
+    }
+    assert_eq!(offset, steady.len(), "campaign run count matches the grid");
+    let browser_native = panels.pop().expect("three panels");
+    let downlink = panels.pop().expect("three panels");
+    let uplink = panels.pop().expect("three panels");
+    Fig1Result {
+        uplink,
+        downlink,
+        browser_native,
+    }
+}
+
 fn print_sweep(title: &str, sweep: &SweepResult) {
     println!("{title}");
     let mut vcas: Vec<&str> = sweep.points.iter().map(|p| p.vca.as_str()).collect();
@@ -240,6 +364,31 @@ mod tests {
         // Unconstrained downlink near its nominal 0.85.
         let at_ten = sweep.get("Meet", 10.0).unwrap().median_mbps;
         assert!(at_ten > 0.6, "Meet downlink nominal, got {at_ten}");
+    }
+
+    #[test]
+    fn campaign_route_matches_direct() {
+        let cfg = Fig1Config {
+            caps: vec![0.5, 10.0],
+            call: SimDuration::from_secs(40),
+            reps: 2,
+            seed: 11,
+        };
+        let direct = run(&cfg);
+        let via_campaign = run_campaign(&cfg, 4);
+        for (a, b) in [
+            (&direct.uplink, &via_campaign.uplink),
+            (&direct.downlink, &via_campaign.downlink),
+            (&direct.browser_native, &via_campaign.browser_native),
+        ] {
+            assert_eq!(a.points.len(), b.points.len());
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.vca, pb.vca);
+                assert_eq!(pa.cap_mbps, pb.cap_mbps);
+                assert_eq!(pa.median_mbps, pb.median_mbps, "{}@{}", pa.vca, pa.cap_mbps);
+                assert_eq!(pa.ci, pb.ci);
+            }
+        }
     }
 
     #[test]

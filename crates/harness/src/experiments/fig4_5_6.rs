@@ -11,6 +11,9 @@
 //!   Meet (the SFU absorbs it), collapsed for Teams (end-to-end control).
 
 use serde::Serialize;
+use vcabench_campaign::{
+    float_slug, Axes, CampaignSpec, ScenarioSpec, ScenarioTemplate, SeedAxis, TwoPartySpec,
+};
 use vcabench_netsim::RateProfile;
 use vcabench_simcore::{SimDuration, SimTime};
 use vcabench_vca::VcaKind;
@@ -157,6 +160,50 @@ pub fn run_direction(cfg: &DisruptionConfig, direction: Direction) -> Disruption
     }
 }
 
+/// The §4 disruption grid as a declarative campaign: one template per
+/// (direction, level), each swept over the native kinds and the seed range.
+/// The campaign runner detects the disruption window from the profile's
+/// steps and reports TTR + nominal per run.
+pub fn campaign_spec(cfg: &DisruptionConfig) -> CampaignSpec {
+    let d_start = SimTime::ZERO + cfg.start;
+    let mut scenarios = Vec::new();
+    for (fig, direction) in [("fig4", Direction::Up), ("fig5", Direction::Down)] {
+        for &level in &cfg.levels {
+            let profile = RateProfile::disruption(1000e6, level * 1e6, d_start, cfg.length);
+            let (up, down) = match direction {
+                Direction::Up => (profile, RateProfile::constant_mbps(1000.0)),
+                Direction::Down => (RateProfile::constant_mbps(1000.0), profile),
+            };
+            scenarios.push(ScenarioTemplate {
+                label: Some(format!("{fig}_{}", float_slug(level))),
+                base: ScenarioSpec::TwoParty(TwoPartySpec {
+                    kind: VcaKind::NATIVE[0],
+                    up,
+                    down,
+                    duration_secs: cfg.call.as_secs_f64(),
+                    seed: cfg.seed,
+                    knobs: None,
+                }),
+                axes: Some(Axes {
+                    kinds: Some(VcaKind::NATIVE.to_vec()),
+                    up_mbps: None,
+                    down_mbps: None,
+                    capacity_mbps: None,
+                    competitors: None,
+                    seeds: Some(SeedAxis::Range {
+                        base: cfg.seed,
+                        count: cfg.reps,
+                    }),
+                }),
+            });
+        }
+    }
+    CampaignSpec {
+        name: "fig4_5".to_string(),
+        scenarios,
+    }
+}
+
 /// Full §4 result: Fig 4 (uplink) and Fig 5+6 (downlink).
 #[derive(Debug, Clone, Serialize)]
 pub struct DisruptionsResult {
@@ -238,6 +285,20 @@ pub fn print(result: &DisruptionsResult) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_spec_expands_and_round_trips() {
+        let cfg = DisruptionConfig::quick();
+        let campaign = campaign_spec(&cfg);
+        let runs = campaign.expand().unwrap();
+        // 2 directions × 2 quick levels × 3 kinds × 1 rep.
+        assert_eq!(runs.len(), 12);
+        assert_eq!(runs[0].label, "fig4_0_25_meet_s41");
+        // The disruption profile survives the JSON round trip intact.
+        let text = serde_json::to_string(&campaign).unwrap();
+        let back = CampaignSpec::from_json(&text).unwrap();
+        assert_eq!(campaign.expand().unwrap(), back.expand().unwrap());
+    }
 
     #[test]
     fn uplink_recovery_is_slow_for_everyone() {

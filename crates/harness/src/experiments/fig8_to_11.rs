@@ -10,6 +10,10 @@
 //! Zoom client joins; Teams is passive on the downlink.
 
 use serde::Serialize;
+use vcabench_campaign::{
+    Axes, CampaignSpec, CompetitionSpec, CompetitorSpec, ScenarioOutcome, ScenarioSpec,
+    ScenarioTemplate, SeedAxis,
+};
 use vcabench_simcore::SimTime;
 use vcabench_stats::{box_stats, BoxStats};
 use vcabench_vca::VcaKind;
@@ -132,6 +136,70 @@ pub fn run(cfg: &VcaCompetitionConfig) -> VcaCompetitionResult {
                 competitor: competitor.name().to_string(),
                 up_shares,
                 down_shares,
+            });
+        }
+    }
+    VcaCompetitionResult {
+        capacity_mbps: cfg.capacity_mbps,
+        pairs,
+    }
+}
+
+/// The 9-pairing study as a declarative campaign: one template whose axes
+/// expand incumbent → competitor → seed, matching [`run`]'s loop order.
+pub fn campaign_spec(cfg: &VcaCompetitionConfig) -> CampaignSpec {
+    CampaignSpec {
+        name: "fig8_10".to_string(),
+        scenarios: vec![ScenarioTemplate {
+            label: Some("fig8".to_string()),
+            base: ScenarioSpec::Competition(CompetitionSpec {
+                incumbent: VcaKind::NATIVE[0],
+                competitor: CompetitorSpec::Vca(VcaKind::NATIVE[0]),
+                capacity_mbps: cfg.capacity_mbps,
+                competitor_start_secs: None,
+                competitor_duration_secs: None,
+                total_secs: None,
+                seed: cfg.seed,
+            }),
+            axes: Some(Axes {
+                kinds: Some(VcaKind::NATIVE.to_vec()),
+                up_mbps: None,
+                down_mbps: None,
+                capacity_mbps: None,
+                competitors: Some(VcaKind::NATIVE.map(CompetitorSpec::Vca).to_vec()),
+                seeds: Some(SeedAxis::Range {
+                    base: cfg.seed,
+                    count: cfg.reps,
+                }),
+            }),
+        }],
+    }
+}
+
+/// Run the 9 pairings through the campaign engine on `jobs` workers.
+/// Numerically identical to [`run`] — the runner measures shares over the
+/// same early contention window.
+pub fn run_campaign(cfg: &VcaCompetitionConfig, jobs: usize) -> VcaCompetitionResult {
+    let results =
+        crate::campaign::run_campaign(&campaign_spec(cfg), jobs).expect("fig8 campaign expands");
+    let shares: Vec<(f64, f64)> = results
+        .iter()
+        .map(|r| match &r.outcome {
+            ScenarioOutcome::Competition(c) => (c.up_share, c.down_share),
+            other => panic!("fig8 expects competition outcomes, got {other:?}"),
+        })
+        .collect();
+    let reps = cfg.reps as usize;
+    let mut pairs = Vec::new();
+    for (block, incumbent) in VcaKind::NATIVE.iter().enumerate() {
+        for (slot, competitor) in VcaKind::NATIVE.iter().enumerate() {
+            let offset = (block * VcaKind::NATIVE.len() + slot) * reps;
+            let window = &shares[offset..offset + reps];
+            pairs.push(PairShares {
+                incumbent: incumbent.name().to_string(),
+                competitor: competitor.name().to_string(),
+                up_shares: window.iter().map(|&(up, _)| up).collect(),
+                down_shares: window.iter().map(|&(_, down)| down).collect(),
             });
         }
     }
@@ -275,6 +343,24 @@ mod tests {
             zoom_zoom > 0.50,
             "Zoom-Zoom incumbent advantage: {zoom_zoom}"
         );
+    }
+
+    #[test]
+    fn campaign_route_matches_direct() {
+        let cfg = VcaCompetitionConfig::quick();
+        let direct = run(&cfg);
+        let via_campaign = run_campaign(&cfg, 3);
+        assert_eq!(direct.pairs.len(), via_campaign.pairs.len());
+        for (a, b) in direct.pairs.iter().zip(&via_campaign.pairs) {
+            assert_eq!(a.incumbent, b.incumbent);
+            assert_eq!(a.competitor, b.competitor);
+            assert_eq!(
+                a.up_shares, b.up_shares,
+                "{} vs {}",
+                a.incumbent, a.competitor
+            );
+            assert_eq!(a.down_shares, b.down_shares);
+        }
     }
 
     #[test]

@@ -12,10 +12,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod render;
 pub mod run;
 
+pub use campaign::{run_campaign, run_campaign_cached, run_spec};
 pub use run::{
     run_competition, run_multiparty, run_two_party, run_two_party_with, CompetitionConfig,
     CompetitionOutcome, Competitor, MultipartyOutcome, TwoPartyOutcome,

@@ -9,7 +9,7 @@
 use vcabench_simcore::{SimDuration, SimTime};
 
 /// A piecewise-constant schedule of link rates in bits per second.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateProfile {
     /// `(from, rate_bps)` steps, sorted by `from`; first entry is at t=0.
     steps: Vec<(SimTime, f64)>,
@@ -103,6 +103,39 @@ impl RateProfile {
         bytes
     }
 
+    /// The raw `(from, rate_bps)` step schedule.
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+
+    /// Rebuild a profile from a raw step schedule (the inverse of
+    /// [`RateProfile::steps`]). Steps must be time-ordered, start no later
+    /// than t=0, and carry positive rates.
+    pub fn from_steps(steps: Vec<(SimTime, f64)>) -> Result<Self, String> {
+        let Some(&(first, _)) = steps.first() else {
+            return Err("profile needs at least one step".to_string());
+        };
+        if first != SimTime::ZERO {
+            return Err("first step must be at t=0".to_string());
+        }
+        let mut profile = RateProfile {
+            steps: vec![steps[0]],
+        };
+        if steps[0].1 <= 0.0 || !steps[0].1.is_finite() {
+            return Err(format!("rate must be positive and finite: {}", steps[0].1));
+        }
+        for &(at, bps) in &steps[1..] {
+            if bps <= 0.0 || !bps.is_finite() {
+                return Err(format!("rate must be positive and finite: {bps}"));
+            }
+            if profile.steps.last().map(|&(t, _)| at < t).unwrap_or(false) {
+                return Err(format!("steps must be time-ordered (step at {at})"));
+            }
+            profile = profile.step(at, bps);
+        }
+        Ok(profile)
+    }
+
     /// Minimum rate anywhere in the schedule.
     pub fn min_rate(&self) -> f64 {
         self.steps
@@ -114,6 +147,84 @@ impl RateProfile {
     /// Maximum rate anywhere in the schedule.
     pub fn max_rate(&self) -> f64 {
         self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+impl serde::Serialize for RateProfile {
+    /// Canonical form: `{"steps": [[at_us, rate_bps], ...]}`.
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert(
+            "steps".to_string(),
+            serde::Serialize::to_json_value(&self.steps),
+        );
+        serde::Value::Object(m)
+    }
+}
+
+impl serde::Deserialize for RateProfile {
+    /// Accepts the canonical form plus two authoring-friendly shorthands:
+    ///
+    /// * `{"constant_mbps": 1.0}`
+    /// * `{"steps_mbps": [[0, 1.0], [60, 0.25], [90, 1.0]]}` — `(seconds,
+    ///   Mbps)` pairs
+    /// * `{"disruption_mbps": {"nominal": 1000, "reduced": 0.25,
+    ///   "start_secs": 60, "duration_secs": 30}}` — the paper's §4 shape
+    /// * `{"steps": [[at_us, rate_bps], ...]}` — canonical
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fail = |e: String| serde::DeError::msg(e).in_field("RateProfile");
+        if let Some(mbps) = v.get("constant_mbps") {
+            let mbps = f64::from_json_value(mbps).map_err(|e| e.in_field("constant_mbps"))?;
+            if mbps <= 0.0 || !mbps.is_finite() {
+                return Err(fail(format!("constant_mbps must be positive: {mbps}")));
+            }
+            return Ok(RateProfile::constant_mbps(mbps));
+        }
+        if let Some(steps) = v.get("steps_mbps") {
+            let steps: Vec<(f64, f64)> =
+                serde::Deserialize::from_json_value(steps).map_err(|e| e.in_field("steps_mbps"))?;
+            for &(secs, _) in &steps {
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(fail(format!("step time must be non-negative: {secs}")));
+                }
+            }
+            return RateProfile::from_steps(
+                steps
+                    .into_iter()
+                    .map(|(secs, mbps)| (SimTime::from_secs_f64(secs), mbps * 1e6))
+                    .collect(),
+            )
+            .map_err(fail);
+        }
+        if let Some(d) = v.get("disruption_mbps") {
+            let get = |k: &str| -> Result<f64, serde::DeError> {
+                d.get(k)
+                    .and_then(serde::Value::as_f64)
+                    .ok_or_else(|| serde::DeError::missing(k).in_field("disruption_mbps"))
+            };
+            let nominal = get("nominal")?;
+            let reduced = get("reduced")?;
+            let start = get("start_secs")?;
+            let duration = get("duration_secs")?;
+            if nominal <= 0.0 || reduced <= 0.0 {
+                return Err(fail("disruption rates must be positive".to_string()));
+            }
+            return Ok(RateProfile::disruption(
+                nominal * 1e6,
+                reduced * 1e6,
+                SimTime::from_secs_f64(start),
+                vcabench_simcore::SimDuration::from_secs_f64(duration),
+            ));
+        }
+        if let Some(steps) = v.get("steps") {
+            let steps: Vec<(SimTime, f64)> =
+                serde::Deserialize::from_json_value(steps).map_err(|e| e.in_field("steps"))?;
+            return RateProfile::from_steps(steps).map_err(fail);
+        }
+        Err(serde::DeError::msg(
+            "RateProfile: expected an object with `constant_mbps`, `steps_mbps`, \
+             `disruption_mbps`, or `steps`",
+        ))
     }
 }
 
@@ -181,5 +292,50 @@ mod tests {
         let _ = RateProfile::constant(1.0)
             .step(SimTime::from_secs(5), 2.0)
             .step(SimTime::from_secs(4), 3.0);
+    }
+
+    #[test]
+    fn serde_canonical_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let p = RateProfile::disruption(
+            1e9,
+            0.25e6,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(30),
+        );
+        let round = RateProfile::from_json_value(&p.to_json_value()).unwrap();
+        assert_eq!(p, round);
+    }
+
+    #[test]
+    fn serde_authoring_shorthands() {
+        use serde::Deserialize;
+        let c: RateProfile = serde_json::from_str(r#"{"constant_mbps": 1.5}"#).unwrap();
+        assert_eq!(c, RateProfile::constant_mbps(1.5));
+        let s: RateProfile =
+            serde_json::from_str(r#"{"steps_mbps": [[0, 1.0], [60, 0.25], [90, 1.0]]}"#).unwrap();
+        assert_eq!(
+            s,
+            RateProfile::constant_mbps(1.0)
+                .step(SimTime::from_secs(60), 0.25e6)
+                .step(SimTime::from_secs(90), 1e6)
+        );
+        let d: RateProfile = serde_json::from_str(
+            r#"{"disruption_mbps": {"nominal": 1000, "reduced": 0.25, "start_secs": 60, "duration_secs": 30}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            d,
+            RateProfile::disruption(
+                1e9,
+                0.25e6,
+                SimTime::from_secs(60),
+                SimDuration::from_secs(30)
+            )
+        );
+        assert!(serde_json::from_str::<RateProfile>(r#"{"constant_mbps": -1}"#).is_err());
+        assert!(serde_json::from_str::<RateProfile>(r#"{"steps_mbps": []}"#).is_err());
+        assert!(serde_json::from_str::<RateProfile>(r#"{"steps_mbps": [[5, 1.0]]}"#).is_err());
+        assert!(RateProfile::from_json_value(&serde::Value::Null).is_err());
     }
 }

@@ -212,6 +212,36 @@ impl fmt::Display for SimDuration {
     }
 }
 
+impl serde::Serialize for SimTime {
+    /// Serializes as integer microseconds since simulation start.
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for SimTime {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        v.as_u64()
+            .map(SimTime::from_micros)
+            .ok_or_else(|| serde::DeError::expected("microseconds (unsigned integer)", v))
+    }
+}
+
+impl serde::Serialize for SimDuration {
+    /// Serializes as integer microseconds.
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for SimDuration {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        v.as_u64()
+            .map(SimDuration::from_micros)
+            .ok_or_else(|| serde::DeError::expected("microseconds (unsigned integer)", v))
+    }
+}
+
 /// Duration needed to serialize `bytes` onto a link running at `bits_per_sec`.
 ///
 /// Rounds up to the next microsecond so a packet never finishes "early",
@@ -279,5 +309,16 @@ mod tests {
     fn display_formats_seconds() {
         assert_eq!(SimTime::from_millis(1500).to_string(), "1.500s");
         assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+
+    #[test]
+    fn serde_round_trip_micros() {
+        use serde::{Deserialize, Serialize};
+        let t = SimTime::from_millis(1500);
+        assert_eq!(t.to_json_value(), serde::Value::U64(1_500_000));
+        assert_eq!(SimTime::from_json_value(&t.to_json_value()), Ok(t));
+        let d = SimDuration::from_secs(2);
+        assert_eq!(SimDuration::from_json_value(&d.to_json_value()), Ok(d));
+        assert!(SimDuration::from_json_value(&serde::Value::F64(1.5)).is_err());
     }
 }

@@ -235,6 +235,17 @@ impl VcaClient {
         self.policy.set_emulate_low_rate_bug(enable);
     }
 
+    /// Clamp the congestion controller's target range, Mbps (a declarative
+    /// what-if knob for scenario specs: emulate clients provisioned with a
+    /// lower encoder ceiling or a higher floor).
+    pub fn set_rate_bounds(&mut self, min_mbps: f64, max_mbps: f64) {
+        assert!(
+            min_mbps > 0.0 && max_mbps >= min_mbps,
+            "invalid rate bounds: [{min_mbps}, {max_mbps}]"
+        );
+        self.controller.set_bounds(min_mbps, max_mbps);
+    }
+
     /// SSRC base of client `index`: streams are base+i, audio base+99.
     pub fn ssrc_base(index: u32) -> u32 {
         (index + 1) * 1000

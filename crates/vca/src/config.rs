@@ -10,7 +10,7 @@ use vcabench_congestion::{FbraConfig, GccConfig, TeamsConfig};
 use vcabench_simcore::SimDuration;
 
 /// Which application (and client variant) a simulated client runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum VcaKind {
     /// Zoom native desktop client.
     Zoom,
@@ -40,6 +40,23 @@ impl VcaKind {
 
     /// The three base applications, native variants.
     pub const NATIVE: [VcaKind; 3] = [VcaKind::Meet, VcaKind::Teams, VcaKind::Zoom];
+
+    /// Every client variant.
+    pub const ALL: [VcaKind; 5] = [
+        VcaKind::Zoom,
+        VcaKind::ZoomChrome,
+        VcaKind::Meet,
+        VcaKind::Teams,
+        VcaKind::TeamsChrome,
+    ];
+
+    /// Parse a kind from either the paper's display name (`"Zoom-Chrome"`)
+    /// or the variant identifier (`"ZoomChrome"`).
+    pub fn from_name(name: &str) -> Option<VcaKind> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == name || format!("{k:?}") == name)
+    }
 
     /// True for the WebRTC-in-Chrome clients whose stats the paper can read
     /// (§3.2: Meet and Teams-Chrome; Zoom-Chrome uses DataChannels and
@@ -110,6 +127,19 @@ mod tests {
     fn names_match_paper() {
         assert_eq!(VcaKind::Zoom.name(), "Zoom");
         assert_eq!(VcaKind::TeamsChrome.name(), "Teams-Chrome");
+    }
+
+    #[test]
+    fn kind_serde_and_from_name() {
+        use serde::{Deserialize, Serialize};
+        for kind in VcaKind::ALL {
+            let v = kind.to_json_value();
+            assert_eq!(VcaKind::from_json_value(&v), Ok(kind));
+            assert_eq!(VcaKind::from_name(kind.name()), Some(kind));
+            assert_eq!(VcaKind::from_name(&format!("{kind:?}")), Some(kind));
+        }
+        assert_eq!(VcaKind::from_name("Skype"), None);
+        assert!(VcaKind::from_json_value(&serde::Value::U64(1)).is_err());
     }
 
     #[test]

@@ -46,6 +46,39 @@ pub enum ViewMode {
     Speaker(u32),
 }
 
+impl serde::Serialize for ViewMode {
+    /// `"Gallery"` or `{"Speaker": idx}`.
+    fn to_json_value(&self) -> serde::Value {
+        match self {
+            ViewMode::Gallery => serde::Value::String("Gallery".to_string()),
+            ViewMode::Speaker(idx) => {
+                let mut m = serde::Map::new();
+                m.insert("Speaker".to_string(), serde::Value::U64(u64::from(*idx)));
+                serde::Value::Object(m)
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for ViewMode {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "Gallery" => Ok(ViewMode::Gallery),
+                other => Err(serde::DeError::msg(format!(
+                    "unknown ViewMode `{other}` (expected \"Gallery\" or {{\"Speaker\": idx}})"
+                ))),
+            };
+        }
+        if let Some(idx) = v.get("Speaker") {
+            return u32::from_json_value(idx)
+                .map(ViewMode::Speaker)
+                .map_err(|e| e.in_field("Speaker"));
+        }
+        Err(serde::DeError::expected("ViewMode", v))
+    }
+}
+
 /// Gallery-grid column count for a call with `n` participants.
 pub fn gallery_columns(style: GridStyle, n: usize) -> u32 {
     match style {

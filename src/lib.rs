@@ -46,6 +46,7 @@
 //! | [`vca`] | clients, SFU/relay servers, calls, layouts, WebRTC-style stats |
 //! | [`apps`] | iPerf3, Netflix, YouTube |
 //! | [`stats`] | medians/CIs, time-to-recovery, link shares |
+//! | [`campaign`] | declarative scenario specs, parallel executor, result cache |
 //! | [`harness`] | one module per paper table/figure + the `repro` binary |
 //!
 //! Reproduce everything: `cargo run --release -p vcabench-harness --bin repro -- all`.
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use vcabench_apps as apps;
+pub use vcabench_campaign as campaign;
 pub use vcabench_congestion as congestion;
 pub use vcabench_harness as harness;
 pub use vcabench_media as media;
@@ -65,9 +67,12 @@ pub use vcabench_vca as vca;
 
 /// The most common imports for building and measuring simulated calls.
 pub mod prelude {
+    pub use vcabench_campaign::{
+        Axes, CampaignSpec, ScenarioOutcome, ScenarioSpec, ScenarioTemplate, SeedAxis, TwoPartySpec,
+    };
     pub use vcabench_harness::{
-        run_competition, run_multiparty, run_two_party, CompetitionConfig, Competitor,
-        TwoPartyOutcome,
+        run_campaign, run_campaign_cached, run_competition, run_multiparty, run_spec,
+        run_two_party, CompetitionConfig, Competitor, TwoPartyOutcome,
     };
     pub use vcabench_netsim::{LinkConfig, Network, RateProfile};
     pub use vcabench_simcore::{SimDuration, SimRng, SimTime};

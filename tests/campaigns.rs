@@ -1,0 +1,74 @@
+//! Cross-crate integration: the declarative campaign pipeline end to end —
+//! spec files → expansion → parallel execution → the content-addressed
+//! result store — driven through the same public API `repro campaign` uses.
+
+use std::path::PathBuf;
+
+use vcabench::prelude::*;
+
+/// The spec file CI smokes; keep it parsing and expanding as documented.
+#[test]
+fn shipped_smoke_spec_expands_to_its_documented_grid() {
+    let text = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/specs/smoke.json"),
+    )
+    .expect("examples/specs/smoke.json exists");
+    let campaign = CampaignSpec::from_json(&text).expect("smoke spec parses");
+    let runs = campaign.expand().expect("smoke spec expands");
+    // 3 kinds × 3 uplink caps × 2 seeds, as the README documents.
+    assert_eq!(runs.len(), 18);
+    assert_eq!(runs[0].label, "shaped_meet_up0_5_s1");
+    assert_eq!(runs[17].label, "shaped_zoom_up2_s2");
+    // Round trip through the serializer preserves the expansion exactly.
+    let back = CampaignSpec::from_json(&campaign.to_json()).unwrap();
+    assert_eq!(back.expand().unwrap(), runs);
+}
+
+#[test]
+fn cached_campaign_is_deterministic_across_jobs_and_invocations() {
+    let base = std::env::temp_dir().join(format!("vcabench-it-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let campaign = CampaignSpec {
+        name: "it".to_string(),
+        scenarios: vec![ScenarioTemplate {
+            label: None,
+            base: ScenarioSpec::TwoParty(TwoPartySpec {
+                kind: VcaKind::Zoom,
+                up: RateProfile::constant_mbps(1000.0),
+                down: RateProfile::constant_mbps(1000.0),
+                duration_secs: 20.0,
+                seed: 1,
+                knobs: None,
+            }),
+            axes: Some(Axes {
+                kinds: Some(vec![VcaKind::Meet, VcaKind::Zoom]),
+                up_mbps: Some(vec![0.5, 1.0]),
+                down_mbps: None,
+                capacity_mbps: None,
+                competitors: None,
+                seeds: Some(SeedAxis::List(vec![1])),
+            }),
+        }],
+    };
+
+    let serial_dir = base.join("serial");
+    let parallel_dir = base.join("parallel");
+    let serial = run_campaign_cached(&campaign, 1, &serial_dir, false).unwrap();
+    let parallel = run_campaign_cached(&campaign, 4, &parallel_dir, false).unwrap();
+    assert_eq!((serial.total, serial.computed, serial.cached), (4, 4, 0));
+    assert_eq!(parallel.results, serial.results);
+    assert_eq!(
+        std::fs::read(serial_dir.join("it.jsonl")).unwrap(),
+        std::fs::read(parallel_dir.join("it.jsonl")).unwrap(),
+        "--jobs 4 store must be byte-identical to --jobs 1"
+    );
+
+    // Second invocation: everything served from cache, store untouched.
+    let before = std::fs::read(serial_dir.join("it.jsonl")).unwrap();
+    let again = run_campaign_cached(&campaign, 4, &serial_dir, false).unwrap();
+    assert_eq!((again.total, again.computed, again.cached), (4, 0, 4));
+    assert_eq!(again.results, serial.results);
+    assert_eq!(before, std::fs::read(serial_dir.join("it.jsonl")).unwrap());
+
+    let _ = std::fs::remove_dir_all(&base);
+}

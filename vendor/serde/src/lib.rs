@@ -1,18 +1,19 @@
-//! Offline, API-compatible subset of `serde` (serialization only).
+//! Offline, API-compatible subset of `serde`.
 //!
-//! The build environment has no crates.io access. vcabench only ever
-//! serializes result structs to JSON, so this vendored crate collapses the
-//! serde data model to a single JSON-shaped [`Value`]: [`Serialize`] renders
-//! a value tree directly, and the companion vendored `serde_json` crate
-//! formats it. `#[derive(Serialize)]` comes from the vendored
-//! `serde_derive` proc-macro and supports named-field structs and unit-only
-//! enums (the shapes used by the harness result types).
+//! The build environment has no crates.io access. vcabench only ever moves
+//! JSON-shaped data, so this vendored crate collapses the serde data model
+//! to a single JSON-shaped [`Value`]: [`Serialize`] renders a value tree
+//! directly, [`Deserialize`] rebuilds typed values from one, and the
+//! companion vendored `serde_json` crate parses/formats the text form.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` come from the vendored
+//! `serde_derive` proc-macro and support named-field structs and unit-only
+//! enums (the shapes used by the harness result and campaign spec types).
 
 #![forbid(unsafe_code)]
 
 use std::collections::{BTreeMap, HashMap};
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// A JSON value tree (the serialization target of this vendored serde).
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +241,275 @@ impl<V: Serialize> Serialize for Map<String, V> {
     }
 }
 
+impl Value {
+    /// Numeric view accepting any of the three number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view (accepts a non-negative `I64` and an integral `F64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(&key.to_string()))
+    }
+
+    /// One-word description of the JSON kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, what was found, and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A free-form deserialization error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// Error for a missing required object field.
+    pub fn missing(field: &str) -> Self {
+        DeError {
+            message: format!("missing field `{field}`"),
+        }
+    }
+
+    /// Prefix the error location with a field name.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+
+    /// Prefix the error location with an array index.
+    pub fn at_index(self, index: usize) -> Self {
+        DeError {
+            message: format!("[{index}]: {}", self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+///
+/// A missing object field is presented to the field's type as
+/// [`Value::Null`], so `Option<T>` fields tolerate absent keys while every
+/// other type reports "missing field".
+pub trait Deserialize: Sized {
+    /// Rebuild from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_unsigned!(u8, u16, u32, u64, usize);
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json_value(item).map_err(|e| e.at_index(i)))
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr, $($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                if items.len() != $len {
+                    return Err(DeError::msg(format!(
+                        "expected array of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx]).map_err(|e| e.at_index($idx))?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple!(
+    (1, A: 0),
+    (2, A: 0, B: 1),
+    (3, A: 0, B: 1, C: 2),
+    (4, A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, val)| {
+                V::from_json_value(val)
+                    .map(|val| (k.clone(), val))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
+
+/// Extract and deserialize one object field; a missing key deserializes as
+/// [`Value::Null`] (used by `#[derive(Deserialize)]`).
+pub fn de_field<T: Deserialize>(obj: &Map<String, Value>, key: &str) -> Result<T, DeError> {
+    match obj.get(&key.to_string()) {
+        Some(v) => T::from_json_value(v).map_err(|e| e.in_field(key)),
+        None => T::from_json_value(&Value::Null).map_err(|_| DeError::missing(key)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +536,59 @@ mod tests {
             },
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deserialize_primitives() {
+        assert_eq!(u64::from_json_value(&Value::U64(3)), Ok(3));
+        assert_eq!(u32::from_json_value(&Value::I64(7)), Ok(7));
+        assert_eq!(f64::from_json_value(&Value::U64(2)), Ok(2.0));
+        assert_eq!(i64::from_json_value(&Value::I64(-4)), Ok(-4));
+        assert_eq!(
+            String::from_json_value(&Value::String("x".into())),
+            Ok("x".to_string())
+        );
+        assert!(u8::from_json_value(&Value::U64(300)).is_err());
+        assert!(u64::from_json_value(&Value::I64(-1)).is_err());
+        assert!(bool::from_json_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn deserialize_containers() {
+        assert_eq!(
+            Vec::<u64>::from_json_value(&Value::Array(vec![Value::U64(1), Value::U64(2)])),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u64>::from_json_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::from_json_value(&Value::U64(5)), Ok(Some(5)));
+        let pair = Value::Array(vec![Value::U64(1), Value::F64(2.5)]);
+        assert_eq!(<(u64, f64)>::from_json_value(&pair), Ok((1, 2.5)));
+        assert!(<(u64, f64)>::from_json_value(&Value::Array(vec![Value::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn de_field_missing_behaviour() {
+        let mut m: Map<String, Value> = Map::new();
+        m.insert("present".into(), Value::U64(1));
+        assert_eq!(de_field::<u64>(&m, "present"), Ok(1));
+        assert_eq!(de_field::<Option<u64>>(&m, "absent"), Ok(None));
+        assert_eq!(
+            de_field::<u64>(&m, "absent"),
+            Err(DeError::missing("absent"))
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::I64(-2).as_f64(), Some(-2.0));
+        assert_eq!(Value::F64(3.0).as_u64(), Some(3));
+        assert_eq!(Value::F64(3.5).as_u64(), None);
+        let mut m: Map<String, Value> = Map::new();
+        m.insert("k".into(), Value::Bool(true));
+        let obj = Value::Object(m);
+        assert_eq!(obj.get("k").and_then(Value::as_bool), Some(true));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(obj.kind(), "object");
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! `#[derive(Serialize)]` for the vendored serde subset.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! subset.
 //!
 //! Implemented with hand-rolled token parsing (no `syn`/`quote`, since the
-//! build environment is offline). Supports the shapes vcabench serializes:
+//! build environment is offline). Supports the shapes vcabench (de)serializes:
 //! named-field structs and enums whose variants are all unit-like. Anything
 //! else produces a `compile_error!` naming the unsupported construct.
 
@@ -19,7 +20,56 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+/// Derive `serde::Deserialize` (vendored subset).
+///
+/// Named-field structs deserialize from a JSON object (a missing key is
+/// presented to the field type as `null`, so `Option` fields are optional);
+/// unit enums deserialize from their variant name as a string.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate_de(&tokens) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid code"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error is valid"),
+    }
+}
+
+fn generate_de(tokens: &[TokenTree]) -> Result<String, String> {
+    let (kind, name, inner) = parse_item(tokens)?;
+    if kind == "struct" {
+        let fields = parse_named_fields(&inner)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "impl ::serde::Deserialize for {name} {{\n    fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        let __obj = match __v {{\n            ::serde::Value::Object(m) => m,\n            other => return Err(::serde::DeError::expected({name:?}, other)),\n        }};\n        Ok({name} {{\n"
+        ));
+        for f in &fields {
+            out.push_str(&format!(
+                "            {f}: ::serde::de_field(__obj, {f:?})?,\n"
+            ));
+        }
+        out.push_str("        })\n    }\n}\n");
+        Ok(out)
+    } else {
+        let variants = parse_unit_variants(&name, &inner)?;
+        let all = variants.join(", ");
+        let mut out = String::new();
+        out.push_str(&format!(
+            "impl ::serde::Deserialize for {name} {{\n    fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        match __v.as_str() {{\n"
+        ));
+        for v in &variants {
+            out.push_str(&format!("            Some({v:?}) => Ok({name}::{v}),\n"));
+        }
+        out.push_str(&format!(
+            "            Some(other) => Err(::serde::DeError::msg(format!(\n                \"unknown {name} variant `{{other}}` (expected one of: {all})\"\n            ))),\n            None => Err(::serde::DeError::expected(\"string\", __v)),\n        }}\n    }}\n}}\n"
+        ));
+        Ok(out)
+    }
+}
+
+/// Navigate to the item: returns (`"struct"`/`"enum"`, name, body tokens).
+fn parse_item(tokens: &[TokenTree]) -> Result<(String, String, Vec<TokenTree>), String> {
     let mut i = 0;
     // Skip outer attributes and visibility to find `struct` or `enum`.
     let kind = loop {
@@ -53,7 +103,7 @@ fn generate(tokens: &[TokenTree]) -> Result<String, String> {
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
             return Err(format!(
-                "derive(Serialize): generic type `{name}` is not supported by the vendored serde"
+                "serde_derive: generic type `{name}` is not supported by the vendored serde"
             ));
         }
     }
@@ -69,6 +119,11 @@ fn generate(tokens: &[TokenTree]) -> Result<String, String> {
         }
     };
     let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    Ok((kind, name, inner))
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let (kind, name, inner) = parse_item(tokens)?;
     if kind == "struct" {
         let fields = parse_named_fields(&inner)?;
         let mut out = String::new();
@@ -173,7 +228,7 @@ fn parse_unit_variants(name: &str, tokens: &[TokenTree]) -> Result<Vec<String>, 
                     }
                     Some(TokenTree::Group(_)) => {
                         return Err(format!(
-                            "derive(Serialize): variant `{name}::{variant}` carries data; only unit enums are supported by the vendored serde"
+                            "serde_derive: variant `{name}::{variant}` carries data; only unit enums are supported by the vendored serde"
                         ));
                     }
                     Some(other) => {

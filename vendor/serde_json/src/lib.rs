@@ -1,15 +1,16 @@
 //! Offline, API-compatible subset of `serde_json`.
 //!
-//! Formats the vendored serde's [`Value`] tree as JSON text. Output is fully
-//! deterministic: object keys keep insertion order, floats use Rust's
-//! shortest-roundtrip formatting, and non-finite floats render as `null`
-//! (matching upstream's lossy behavior for JSON).
+//! Formats the vendored serde's [`Value`] tree as JSON text and parses JSON
+//! text back into it. Output is fully deterministic: object keys keep
+//! insertion order, floats use Rust's shortest-roundtrip formatting, and
+//! non-finite floats render as `null` (matching upstream's lossy behavior
+//! for JSON).
 
 #![forbid(unsafe_code)]
 
 pub use serde::{Map, Value};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Serialization error (the vendored subset is infallible in practice, but
 /// the `Result` shape mirrors upstream).
@@ -43,6 +44,230 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_json_value(), Some("  "), 0);
     Ok(out)
+}
+
+/// Parse JSON text into any [`Deserialize`] type (parse to a [`Value`],
+/// then rebuild the typed value from it).
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    from_value(&v)
+}
+
+/// Rebuild a typed value from a parsed [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_json_value(v).map_err(|e| Error {
+        message: e.to_string(),
+    })
+}
+
+/// Recursive-descent JSON parser over raw bytes (inputs are result files and
+/// campaign specs — small, trusted, UTF-8).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            message: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // repo's data; map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is valid UTF-8
+                    // because it came from a &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number chars are valid UTF-8");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
@@ -181,6 +406,46 @@ mod tests {
     fn to_value_round_trips_serialize() {
         let v = to_value(vec![1u64, 2, 3]).unwrap();
         assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let cases = [
+            r#"{"a":1,"b":[1.5,null],"c":"x\ny","d":true,"e":-3}"#,
+            "[]",
+            "{}",
+            r#"[0.5,1e3,-2.25,18446744073709551615]"#,
+            r#""plain""#,
+        ];
+        for text in cases {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text.replace("1e3", "1000"));
+        }
+    }
+
+    #[test]
+    fn parse_whitespace_and_nesting() {
+        let v: Value = from_str(" { \"k\" : [ 1 , { \"n\" : null } ] } \n").unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"k":[1,{"n":null}]}"#);
+    }
+
+    #[test]
+    fn parse_typed() {
+        let v: Vec<f64> = from_str("[1, 2.5, 3]").unwrap();
+        assert_eq!(v, vec![1.0, 2.5, 3.0]);
+        let pair: (u64, String) = from_str(r#"[4, "x"]"#).unwrap();
+        assert_eq!(pair, (4, "x".to_string()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>(r#"{"a" 1}"#).is_err());
+        assert!(from_str::<u64>("-1").is_err());
     }
 
     #[test]
