@@ -42,7 +42,18 @@ pub fn execute_runs(
     jobs: usize,
     runner: &(impl Fn(&ScenarioSpec) -> ScenarioOutcome + Sync),
 ) -> Vec<RunResult> {
-    let outcomes = run_indexed(runs.len(), jobs, |i| runner(&runs[i].spec));
+    execute_runs_with(runs, jobs, &|run: &ExpandedRun| runner(&run.spec))
+}
+
+/// Like [`execute_runs`], but the runner sees the whole [`ExpandedRun`]
+/// (label included) — used by callers that write per-run artifacts named
+/// by the deterministic run labels.
+pub fn execute_runs_with(
+    runs: &[ExpandedRun],
+    jobs: usize,
+    runner: &(impl Fn(&ExpandedRun) -> ScenarioOutcome + Sync),
+) -> Vec<RunResult> {
+    let outcomes = run_indexed(runs.len(), jobs, |i| runner(&runs[i]));
     runs.iter()
         .cloned()
         .zip(outcomes)

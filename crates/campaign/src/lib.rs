@@ -27,11 +27,11 @@ pub mod outcome;
 pub mod spec;
 pub mod store;
 
-pub use exec::{execute, execute_runs, run_indexed, RunResult};
+pub use exec::{execute, execute_runs, execute_runs_with, run_indexed, RunResult};
 pub use expand::{Axes, CampaignSpec, ExpandedRun, ScenarioTemplate, SeedAxis};
 pub use outcome::{CompetitionRecord, MultipartyRecord, Sample, ScenarioOutcome, TwoPartyRecord};
 pub use spec::{
     float_slug, slug, ClientKnobs, CompetitionSpec, CompetitorSpec, MultipartySpec, ScenarioSpec,
     TwoPartySpec,
 };
-pub use store::{content_hash, run_cached, CampaignSummary, StoredRecord};
+pub use store::{content_hash, run_cached, run_cached_with, CampaignSummary, StoredRecord};

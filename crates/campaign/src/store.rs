@@ -6,8 +6,8 @@
 //! hash is already present; editing a spec (or bumping the crate version)
 //! changes the hash and forces recomputation of exactly the affected runs.
 
-use crate::exec::{execute_runs, RunResult};
-use crate::expand::CampaignSpec;
+use crate::exec::{execute_runs_with, RunResult};
+use crate::expand::{CampaignSpec, ExpandedRun};
 use crate::outcome::ScenarioOutcome;
 use crate::spec::ScenarioSpec;
 use serde::{Serialize, Value};
@@ -126,6 +126,21 @@ pub fn run_cached(
     rerun: bool,
     runner: &(impl Fn(&ScenarioSpec) -> ScenarioOutcome + Sync),
 ) -> Result<CampaignSummary, String> {
+    run_cached_with(campaign, jobs, dir, rerun, &|run: &ExpandedRun| {
+        runner(&run.spec)
+    })
+}
+
+/// Like [`run_cached`], but the runner sees the whole [`ExpandedRun`]
+/// (label included) — used by the traced campaign path, which writes
+/// per-run telemetry artifacts named by the deterministic run labels.
+pub fn run_cached_with(
+    campaign: &CampaignSpec,
+    jobs: usize,
+    dir: &Path,
+    rerun: bool,
+    runner: &(impl Fn(&ExpandedRun) -> ScenarioOutcome + Sync),
+) -> Result<CampaignSummary, String> {
     let runs = campaign.expand()?;
     let store_path = dir.join(format!("{}.jsonl", crate::spec::slug(&campaign.name)));
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
@@ -147,7 +162,7 @@ pub fn run_cached(
     }
 
     let fresh_runs: Vec<_> = to_compute.iter().map(|&i| runs[i].clone()).collect();
-    let fresh: Vec<RunResult> = execute_runs(&fresh_runs, jobs, runner);
+    let fresh: Vec<RunResult> = execute_runs_with(&fresh_runs, jobs, runner);
     let mut computed: BTreeMap<String, StoredRecord> = BTreeMap::new();
     for result in &fresh {
         let hash = content_hash(&result.run.spec);

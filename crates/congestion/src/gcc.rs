@@ -195,6 +195,8 @@ pub struct GccController {
     /// Smoothed receive rate (decreases anchor to this, not to the noisy
     /// instantaneous 100 ms sample).
     recv_ema: Option<f64>,
+    /// Most recent detector signal (diagnostics / telemetry).
+    last_signal: Signal,
 }
 
 impl GccController {
@@ -210,12 +212,32 @@ impl GccController {
             hold_until: None,
             last_decrease: None,
             recv_ema: None,
+            last_signal: Signal::Normal,
             cfg,
+        }
+    }
+
+    /// Current state name (diagnostics / telemetry).
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Increase => "increase",
+            State::Hold => "hold",
+            State::Decrease => "decrease",
+        }
+    }
+
+    /// Most recent detector signal name (diagnostics / telemetry).
+    pub fn signal_name(&self) -> &'static str {
+        match self.last_signal {
+            Signal::Overuse => "overuse",
+            Signal::Underuse => "underuse",
+            Signal::Normal => "normal",
         }
     }
 
     /// Detector signal handling → state machine transition.
     fn transition(&mut self, signal: Signal, now: SimTime) {
+        self.last_signal = signal;
         match signal {
             Signal::Overuse => self.state = State::Decrease,
             Signal::Underuse => {

@@ -112,6 +112,14 @@ impl TeamsController {
         self.state == State::Recover
     }
 
+    /// Current state name (diagnostics / telemetry).
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Recover => "recover",
+            State::Track => "track",
+        }
+    }
+
     /// Move the nominal set-point (used for Teams' pinned-sender behaviour,
     /// whose uplink grows with call size — §6.2).
     pub fn set_nominal(&mut self, nominal_mbps: f64) {

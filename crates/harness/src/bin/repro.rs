@@ -3,13 +3,19 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--json <path>] [--jobs <n>]
-//! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun]
+//! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]
+//! repro validate-trace <file.jsonl>...
+//! repro --profile [--quick]
 //! ```
 //!
 //! `--quick` uses reduced presets (coarser sweeps, fewer repetitions);
 //! `--json <path>` additionally writes machine-readable results;
 //! `--jobs <n>` parallelizes the campaign-driven experiments (fig1, fig8,
-//! campaign) without changing any output byte.
+//! campaign) without changing any output byte;
+//! `--trace-dir <dir>` writes per-run telemetry artifacts (JSONL event
+//! trace, series CSV, manifest) next to the campaign result cache;
+//! `validate-trace` checks JSONL traces against the versioned schema;
+//! `--profile` prints a wall-clock profile of the simulation engine.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -62,7 +68,11 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 
 fn print_help() {
     println!("usage: repro <experiment> [--quick] [--json <path>] [--jobs <n>]");
-    println!("       repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun]");
+    println!(
+        "       repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]"
+    );
+    println!("       repro validate-trace <file.jsonl>...");
+    println!("       repro --profile [--quick]");
     println!();
     println!("experiments:");
     for (name, desc) in EXPERIMENTS {
@@ -73,24 +83,34 @@ fn print_help() {
     println!("  campaign <spec.json>  expand and run a declarative campaign spec;");
     println!("                        results are cached under --out (default");
     println!("                        campaign-results/) keyed by content hash");
+    println!("  validate-trace <file.jsonl>...");
+    println!("                        validate JSONL event traces against the");
+    println!("                        telemetry schema (exit 1 on any violation)");
     println!();
     println!("options:");
-    println!("  --quick        reduced presets (coarser sweeps, fewer repetitions)");
-    println!("  --json <path>  also write machine-readable results to <path>");
-    println!("  --jobs <n>     worker threads for campaign-driven runs (default 1;");
-    println!("                 output is byte-identical for any n)");
-    println!("  --out <dir>    campaign result-store directory");
-    println!("  --rerun        recompute cached campaign runs");
+    println!("  --quick            reduced presets (coarser sweeps, fewer repetitions)");
+    println!("  --json <path>      also write machine-readable results to <path>");
+    println!("  --jobs <n>         worker threads for campaign-driven runs (default 1;");
+    println!("                     output is byte-identical for any n)");
+    println!("  --out <dir>        campaign result-store directory");
+    println!("  --rerun            recompute cached campaign runs");
+    println!("  --trace-dir <dir>  (campaign only) write per-run telemetry artifacts");
+    println!("                     (<label>.events.jsonl / .series.csv / .manifest.json)");
+    println!("  --profile          profile the simulation engine on a fixed two-party");
+    println!("                     workload and print where wall-clock time goes");
 }
 
 struct Args {
     experiment: String,
     spec_path: Option<String>,
+    trace_paths: Vec<String>,
     quick: bool,
     json: Option<String>,
     jobs: usize,
     out: PathBuf,
     rerun: bool,
+    trace_dir: Option<PathBuf>,
+    profile: bool,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -106,11 +126,19 @@ fn parse_args() -> Args {
     let mut jobs = 1usize;
     let mut out = PathBuf::from("campaign-results");
     let mut rerun = false;
+    let mut trace_dir = None;
+    let mut profile = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--rerun" => rerun = true,
+            "--profile" => profile = true,
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    usage_error("--trace-dir requires a directory argument")
+                })));
+            }
             "--json" => {
                 json = Some(
                     it.next()
@@ -144,16 +172,38 @@ fn parse_args() -> Args {
             other => positionals.push(other.to_string()),
         }
     }
-    let experiment = match positionals.len() {
-        0 => "all".to_string(),
-        _ => positionals[0].clone(),
+    if profile && !positionals.is_empty() {
+        usage_error(&format!(
+            "--profile is a standalone mode; unexpected argument `{}`",
+            positionals[0]
+        ));
+    }
+    let experiment = if profile {
+        "profile".to_string()
+    } else {
+        match positionals.len() {
+            0 => "all".to_string(),
+            _ => positionals[0].clone(),
+        }
     };
+    let mut trace_paths = Vec::new();
     let spec_path = if experiment == "campaign" {
         match positionals.len() {
             1 => usage_error("campaign requires a spec file: repro campaign <spec.json>"),
             2 => Some(positionals[1].clone()),
             _ => usage_error(&format!("unexpected argument `{}`", positionals[2])),
         }
+    } else if experiment == "validate-trace" {
+        if positionals.len() < 2 {
+            usage_error(
+                "validate-trace requires at least one trace file: \
+                 repro validate-trace <file.jsonl>...",
+            );
+        }
+        trace_paths = positionals[1..].to_vec();
+        None
+    } else if experiment == "profile" {
+        None
     } else {
         if positionals.len() > 1 {
             usage_error(&format!("unexpected argument `{}`", positionals[1]));
@@ -163,14 +213,20 @@ fn parse_args() -> Args {
         }
         None
     };
+    if trace_dir.is_some() && experiment != "campaign" {
+        usage_error("--trace-dir only applies to the campaign subcommand");
+    }
     Args {
         experiment,
         spec_path,
+        trace_paths,
         quick,
         json,
         jobs,
         out,
         rerun,
+        trace_dir,
+        profile,
     }
 }
 
@@ -197,12 +253,16 @@ fn run_campaign_command(args: &Args) -> ! {
         eprintln!("repro: {path}: {e}");
         std::process::exit(1);
     });
-    let summary =
-        vcabench_harness::run_campaign_cached(&campaign, args.jobs, &args.out, args.rerun)
-            .unwrap_or_else(|e| {
-                eprintln!("repro: campaign `{}`: {e}", campaign.name);
-                std::process::exit(1);
-            });
+    let summary = match &args.trace_dir {
+        Some(trace_dir) => vcabench_harness::run_campaign_cached_traced(
+            &campaign, args.jobs, &args.out, args.rerun, trace_dir,
+        ),
+        None => vcabench_harness::run_campaign_cached(&campaign, args.jobs, &args.out, args.rerun),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("repro: campaign `{}`: {e}", campaign.name);
+        std::process::exit(1);
+    });
     println!(
         "campaign `{}`: {} runs ({} computed, {} cached) -> {}",
         campaign.name,
@@ -214,11 +274,52 @@ fn run_campaign_command(args: &Args) -> ! {
     for record in &summary.results {
         println!("  {} {}", &record.hash[..12], record.label);
     }
+    if let Some(trace_dir) = &args.trace_dir {
+        println!("trace artifacts -> {}", trace_dir.display());
+    }
     std::process::exit(0);
+}
+
+fn run_validate_trace_command(args: &Args) -> ! {
+    let mut failed = false;
+    for path in &args.trace_paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("repro: cannot read {path}: {e}");
+                failed = true;
+            }
+            Ok(text) => match vcabench_telemetry::validate_jsonl(&text) {
+                Ok(counts) => {
+                    let total: u64 = counts.values().sum();
+                    let kinds: Vec<String> =
+                        counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    println!("{path}: {total} events OK ({})", kinds.join(", "));
+                }
+                Err(e) => {
+                    eprintln!("repro: {path}: {e}");
+                    failed = true;
+                }
+            },
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 fn main() {
     let args = parse_args();
+    if args.profile {
+        let duration = if args.quick {
+            vcabench_simcore::SimDuration::from_secs(15)
+        } else {
+            vcabench_simcore::SimDuration::from_secs(60)
+        };
+        let profiles = vcabench_harness::profile_engine(duration);
+        print!("{}", vcabench_harness::render_profile(&profiles));
+        return;
+    }
+    if args.experiment == "validate-trace" {
+        run_validate_trace_command(&args);
+    }
     if args.experiment == "campaign" {
         run_campaign_command(&args);
     }

@@ -15,11 +15,12 @@ use vcabench_campaign::{
 };
 use vcabench_netsim::RateProfile;
 use vcabench_simcore::{SimDuration, SimTime};
+use vcabench_telemetry::Telemetry;
 use vcabench_vca::VcaKind;
 
 use crate::run::{
-    run_competition, run_multiparty, run_two_party_with, CompetitionConfig, Competitor,
-    TwoPartyOutcome, BIN,
+    run_competition_telemetry, run_multiparty_telemetry, run_two_party_telemetry,
+    CompetitionConfig, Competitor, TwoPartyOutcome, BIN,
 };
 
 /// Offset of the share-measurement window from the competitor's start
@@ -52,16 +53,23 @@ fn disruption_window(profile: &RateProfile) -> Option<(SimTime, SimTime)> {
 /// Execute one concrete scenario. Pure in the spec: equal specs produce
 /// equal outcomes (the determinism the result cache relies on).
 pub fn run_spec(spec: &ScenarioSpec) -> ScenarioOutcome {
+    run_spec_telemetry(spec, &Telemetry::disabled())
+}
+
+/// Like [`run_spec`], recording trace events through `tel` (the traced
+/// campaign path; see [`crate::telemetry::run_spec_traced`]).
+pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutcome {
     match spec.normalized() {
         ScenarioSpec::TwoParty(s) => {
             let duration = SimDuration::from_secs_f64(s.duration_secs);
             let knobs = s.knobs.clone();
-            let out = run_two_party_with(
+            let out = run_two_party_telemetry(
                 s.kind,
                 s.up.clone(),
                 s.down.clone(),
                 duration,
                 s.seed,
+                tel,
                 |c1| {
                     if let Some(knobs) = &knobs {
                         if let Some(enable) = knobs.teams_width_bug {
@@ -123,7 +131,7 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioOutcome {
                 total: SimDuration::from_secs_f64(s.total_secs.expect("normalized")),
                 seed: s.seed,
             };
-            let out = run_competition(&cfg);
+            let out = run_competition_telemetry(&cfg, tel);
             let from = SimTime::ZERO + cfg.competitor_start + SHARE_WINDOW_DELAY;
             let to = from + SHARE_WINDOW_LEN;
             ScenarioOutcome::Competition(CompetitionRecord {
@@ -137,12 +145,13 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioOutcome {
             })
         }
         ScenarioSpec::Multiparty(s) => {
-            let out = run_multiparty(
+            let out = run_multiparty_telemetry(
                 s.kind,
                 s.n,
                 s.pin_c1.expect("normalized"),
                 SimDuration::from_secs_f64(s.duration_secs),
                 s.seed,
+                tel,
             );
             ScenarioOutcome::Multiparty(MultipartyRecord {
                 c1_up_mbps: out.c1_up_mbps,

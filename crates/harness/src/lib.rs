@@ -14,11 +14,15 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod profile;
 pub mod render;
 pub mod run;
+pub mod telemetry;
 
-pub use campaign::{run_campaign, run_campaign_cached, run_spec};
+pub use campaign::{run_campaign, run_campaign_cached, run_spec, run_spec_telemetry};
+pub use profile::{profile_engine, profile_two_party, render_profile};
 pub use run::{
     run_competition, run_multiparty, run_two_party, run_two_party_with, CompetitionConfig,
     CompetitionOutcome, Competitor, MultipartyOutcome, TwoPartyOutcome,
 };
+pub use telemetry::{run_campaign_cached_traced, run_spec_traced};

@@ -1,0 +1,65 @@
+//! Engine profiling for `repro --profile`: where does simulation time go?
+//!
+//! Runs a fixed unshaped two-party call per native VCA kind with the
+//! engine's wall-clock profiler armed and renders one table per kind plus
+//! a merged total. Wall-clock numbers are nondeterministic by nature, so
+//! this output is print-only and never enters a trace or manifest.
+
+use vcabench_netsim::RateProfile;
+use vcabench_simcore::{SimDuration, SimTime};
+use vcabench_telemetry::Profiler;
+use vcabench_vca::VcaKind;
+
+/// Profile one unshaped two-party call of `kind`.
+pub fn profile_two_party(kind: VcaKind, duration: SimDuration, seed: u64) -> Profiler {
+    let mut call = vcabench_vca::two_party_call(
+        kind,
+        RateProfile::constant_mbps(1000.0),
+        RateProfile::constant_mbps(1000.0),
+        seed,
+    );
+    call.net.enable_profiler();
+    call.net.run_until(SimTime::ZERO + duration);
+    call.net.take_profiler().expect("profiler was enabled")
+}
+
+/// Profile a fixed two-party workload per native kind at seed 1.
+pub fn profile_engine(duration: SimDuration) -> Vec<(VcaKind, Profiler)> {
+    VcaKind::NATIVE
+        .iter()
+        .map(|&kind| (kind, profile_two_party(kind, duration, 1)))
+        .collect()
+}
+
+/// Render the per-kind tables plus a merged total.
+pub fn render_profile(profiles: &[(VcaKind, Profiler)]) -> String {
+    let mut out = String::new();
+    let mut merged = Profiler::new();
+    for (kind, prof) in profiles {
+        out.push_str(&format!("== {kind:?} two-party call ==\n"));
+        out.push_str(&prof.render_table());
+        out.push('\n');
+        merged.merge(prof);
+    }
+    out.push_str("== all kinds combined ==\n");
+    out.push_str(&merged.render_table());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_sees_engine_events() {
+        let prof = profile_two_party(VcaKind::Zoom, SimDuration::from_secs(2), 1);
+        assert!(prof.total_count() > 0, "engine handled events");
+        assert!(
+            prof.rows().contains_key("arrive"),
+            "packet arrivals profiled: {:?}",
+            prof.rows().keys().collect::<Vec<_>>()
+        );
+        let table = render_profile(&[(VcaKind::Zoom, prof)]);
+        assert!(table.contains("all kinds combined"));
+    }
+}

@@ -8,11 +8,25 @@
 use vcabench_apps::{
     AbrServer, NetflixClient, NetflixSample, TcpSenderAgent, TcpSinkAgent, YoutubeClient,
 };
-use vcabench_netsim::{topology, FlowId, Network, RateProfile};
+use vcabench_netsim::{topology, FlowId, Network, NodeId, RateProfile};
 use vcabench_simcore::{SimDuration, SimRng, SimTime};
 use vcabench_stats::time_to_recovery;
+use vcabench_telemetry::Telemetry;
 use vcabench_transport::Wire;
 use vcabench_vca::{wire_call, StatsSample, VcaClient, VcaKind, ViewMode};
+
+/// Clone one telemetry handle into the engine and every VCA client, so a
+/// single recorder sees packet-level and client-level events interleaved
+/// in simulation order.
+fn attach_telemetry(net: &mut Network<Wire>, tel: &Telemetry, clients: &[NodeId]) {
+    if !tel.enabled() {
+        return;
+    }
+    net.set_telemetry(tel.clone());
+    for &node in clients {
+        net.agent_mut::<VcaClient>(node).set_telemetry(tel.clone());
+    }
+}
 
 /// Bin width of all bitrate series (matches `netsim::trace::DEFAULT_BIN`).
 pub const BIN: SimDuration = SimDuration::from_millis(100);
@@ -94,7 +108,29 @@ pub fn run_two_party_with(
     seed: u64,
     configure: impl FnOnce(&mut VcaClient),
 ) -> TwoPartyOutcome {
+    run_two_party_telemetry(
+        kind,
+        up,
+        down,
+        duration,
+        seed,
+        &Telemetry::disabled(),
+        configure,
+    )
+}
+
+/// Like [`run_two_party_with`], recording trace events through `tel`.
+pub fn run_two_party_telemetry(
+    kind: VcaKind,
+    up: RateProfile,
+    down: RateProfile,
+    duration: SimDuration,
+    seed: u64,
+    tel: &Telemetry,
+    configure: impl FnOnce(&mut VcaClient),
+) -> TwoPartyOutcome {
     let mut call = vcabench_vca::two_party_call(kind, up, down, seed);
+    attach_telemetry(&mut call.net, tel, &call.handles.clients.clone());
     configure(call.net.agent_mut::<VcaClient>(call.topo.c1));
     let end = SimTime::ZERO + duration;
     call.net.run_until(end);
@@ -234,6 +270,11 @@ impl CompetitionConfig {
 
 /// Run a §5 competition experiment.
 pub fn run_competition(cfg: &CompetitionConfig) -> CompetitionOutcome {
+    run_competition_telemetry(cfg, &Telemetry::disabled())
+}
+
+/// Like [`run_competition`], recording trace events through `tel`.
+pub fn run_competition_telemetry(cfg: &CompetitionConfig, tel: &Telemetry) -> CompetitionOutcome {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut net: Network<Wire> = Network::new();
     let topo = topology::competition(
@@ -250,6 +291,7 @@ pub fn run_competition(cfg: &CompetitionConfig) -> CompetitionOutcome {
         10,
         &mut rng,
     );
+    attach_telemetry(&mut net, tel, &h1.clients.clone());
     let comp_start = SimTime::ZERO + cfg.competitor_start;
     let comp_end = comp_start + cfg.competitor_duration;
     let comp_up_flow = FlowId(70);
@@ -268,6 +310,7 @@ pub fn run_competition(cfg: &CompetitionConfig) -> CompetitionOutcome {
                 &mut rng,
                 comp_start,
             );
+            attach_telemetry(&mut net, tel, &h2.clients.clone());
             comp_up_flows = vec![h2.up_flows[0]];
             comp_down_flows = vec![h2.down_flows[0]];
         }
@@ -366,6 +409,18 @@ pub fn run_multiparty(
     duration: SimDuration,
     seed: u64,
 ) -> MultipartyOutcome {
+    run_multiparty_telemetry(kind, n, pin_c1, duration, seed, &Telemetry::disabled())
+}
+
+/// Like [`run_multiparty`], recording trace events through `tel`.
+pub fn run_multiparty_telemetry(
+    kind: VcaKind,
+    n: usize,
+    pin_c1: bool,
+    duration: SimDuration,
+    seed: u64,
+    tel: &Telemetry,
+) -> MultipartyOutcome {
     let modes: Vec<ViewMode> = (0..n)
         .map(|i| {
             if pin_c1 && i != 0 {
@@ -376,6 +431,7 @@ pub fn run_multiparty(
         })
         .collect();
     let mut call = vcabench_vca::multiparty_call(kind, n, &modes, seed);
+    attach_telemetry(&mut call.net, tel, &call.handles.clients.clone());
     let end = SimTime::ZERO + duration;
     call.net.run_until(end);
     let settle = SimTime::ZERO + duration / 4;

@@ -1,0 +1,73 @@
+//! `repro` argument handling: help text advertises the telemetry flags,
+//! malformed invocations exit 2, and `validate-trace` gates on schema.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn temp_file(tag: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("vcabench-cli-{tag}-{}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn help_advertises_telemetry_surface() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--trace-dir", "validate-trace", "--profile", "campaign"] {
+        assert!(text.contains(needle), "help missing `{needle}`:\n{text}");
+    }
+}
+
+#[test]
+fn malformed_invocations_exit_2() {
+    let cases: &[&[&str]] = &[
+        &["--trace-dir"],                     // missing value
+        &["table2", "--trace-dir", "/tmp/x"], // not the campaign subcommand
+        &["--trace-dir", "/tmp/x"],           // implicit `all` is not campaign
+        &["--profile", "table2"],             // --profile is standalone
+        &["validate-trace"],                  // needs at least one file
+        &["campaign"],                        // needs a spec file
+        &["no-such-experiment"],
+        &["--jobs", "zero"],
+        &["--jobs", "0"],
+    ];
+    for args in cases {
+        let out = repro(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "expected exit 2 for {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn validate_trace_accepts_valid_and_rejects_invalid() {
+    let good = temp_file(
+        "good.jsonl",
+        "{\"t\":1,\"kind\":\"fir\",\"client\":0,\"ssrc\":5,\"dir\":\"sent\"}\n",
+    );
+    let out = repro(&["validate-trace", good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 events OK"));
+
+    let bad = temp_file("bad.jsonl", "{\"t\":1,\"kind\":\"no_such_kind\"}\n");
+    let out = repro(&["validate-trace", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{:?}", out);
+
+    let missing = repro(&["validate-trace", "/no/such/file.jsonl"]);
+    assert_eq!(missing.status.code(), Some(1));
+
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&bad);
+}

@@ -221,6 +221,14 @@ impl<P> Link<P> {
         self.queue.len()
     }
 
+    /// Whether the next offered packet will be discarded by the periodic
+    /// drop-every-N impairment (as opposed to a full queue). Lets the
+    /// engine's telemetry hook classify an upcoming drop before handing
+    /// the packet to [`Link::enqueue`].
+    pub fn next_offer_hits_impairment(&self) -> bool {
+        self.cfg.drop_every > 0 && (self.offered + 1).is_multiple_of(self.cfg.drop_every)
+    }
+
     /// Offer a packet. If the link is idle the packet enters service and the
     /// returned time is when serialization completes; otherwise it queues or
     /// drops.

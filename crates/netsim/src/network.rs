@@ -12,6 +12,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use vcabench_simcore::{EventQueue, SimDuration, SimTime};
+use vcabench_telemetry::{EventKind, Profiler, Telemetry};
 
 use crate::link::{EnqueueOutcome, Link, LinkConfig};
 use crate::packet::{FlowId, LinkId, NodeId, Packet};
@@ -112,10 +113,22 @@ pub struct Network<P> {
     next_pkt_id: u64,
     /// Packets discarded because no route existed (usually a wiring bug).
     pub unrouted_drops: u64,
+    /// Trace hook; disabled by default, so every emission below is one
+    /// branch and never constructs the event.
+    telemetry: Telemetry,
+    /// Last service rate emitted per link (bits, NaN = never sampled);
+    /// lets enqueue/dequeue hooks detect shaping-profile steps without a
+    /// separate poller.
+    tel_rates: Vec<f64>,
+    /// Per-event-type wall-clock profiler (`repro --profile`).
+    profiler: Option<Profiler>,
     #[cfg(feature = "testkit-checks")]
     clock: MonotonicClock,
     #[cfg(feature = "testkit-checks")]
     observers: Vec<Box<dyn SimObserver>>,
+    /// Violations already forwarded to the telemetry recorder.
+    #[cfg(feature = "testkit-checks")]
+    tel_violations_seen: usize,
 }
 
 impl<P: 'static> Network<P> {
@@ -131,11 +144,44 @@ impl<P: 'static> Network<P> {
             agents: Vec::new(),
             next_pkt_id: 0,
             unrouted_drops: 0,
+            telemetry: Telemetry::disabled(),
+            tel_rates: Vec::new(),
+            profiler: None,
             #[cfg(feature = "testkit-checks")]
             clock: MonotonicClock::new(),
             #[cfg(feature = "testkit-checks")]
             observers: Vec::new(),
+            #[cfg(feature = "testkit-checks")]
+            tel_violations_seen: 0,
         }
+    }
+
+    /// Attach a telemetry handle; the engine emits packet
+    /// enqueue/dequeue/drop and rate-step events through it (and, with
+    /// `testkit-checks` armed, invariant violations in event order).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's telemetry handle (clone it into agents so one
+    /// recorder sees the whole run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Arm the per-event-type wall-clock profiler.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Profiler::new());
+    }
+
+    /// Read the profiler, if armed.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detach and return the profiler, if armed.
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
     }
 
     /// Current simulation time.
@@ -258,7 +304,23 @@ impl<P: 'static> Network<P> {
                 }
             }
             self.now = at;
-            self.handle(ev);
+            if self.profiler.is_some() {
+                let label = match &ev {
+                    NetEvent::LinkReady(_) => "link_ready",
+                    NetEvent::Arrive(..) => "arrive",
+                    NetEvent::Timer(..) => "timer",
+                };
+                let t0 = std::time::Instant::now();
+                self.handle(ev);
+                let elapsed = t0.elapsed();
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(label, elapsed);
+                }
+            } else {
+                self.handle(ev);
+            }
+            #[cfg(feature = "testkit-checks")]
+            self.emit_new_violations();
         }
         self.now = until;
     }
@@ -274,6 +336,19 @@ impl<P: 'static> Network<P> {
                 let (pkt, next_done) = self.links[lid.0].complete(self.now);
                 if let Some(done) = next_done {
                     self.events.schedule(done, NetEvent::LinkReady(lid));
+                }
+                if self.telemetry.enabled() {
+                    self.note_rate(lid);
+                    let queue_bytes = self.links[lid.0].backlog_bytes() as u64;
+                    let (link, flow, id, bytes) =
+                        (lid.0 as u64, pkt.flow.0, pkt.id, pkt.size as u64);
+                    self.telemetry.emit(self.now, || EventKind::PacketDequeued {
+                        link,
+                        flow,
+                        pkt: id,
+                        bytes,
+                        queue_bytes,
+                    });
                 }
                 let to = self.links[lid.0].to;
                 let arrive_at = self.now + self.links[lid.0].delay_for(pkt.id);
@@ -299,11 +374,64 @@ impl<P: 'static> Network<P> {
             .or(self.default_route[node.0]);
         match link {
             Some(lid) => {
-                if let EnqueueOutcome::StartTx(done) = self.links[lid.0].enqueue(self.now, pkt) {
+                let enabled = self.telemetry.enabled();
+                let impairment = enabled && self.links[lid.0].next_offer_hits_impairment();
+                if enabled {
+                    self.note_rate(lid);
+                }
+                let (flow, id, bytes) = (pkt.flow.0, pkt.id, pkt.size as u64);
+                let outcome = self.links[lid.0].enqueue(self.now, pkt);
+                if let EnqueueOutcome::StartTx(done) = outcome {
                     self.events.schedule(done, NetEvent::LinkReady(lid));
+                }
+                if enabled {
+                    let l = &self.links[lid.0];
+                    let (queue_bytes, queue_pkts) =
+                        (l.backlog_bytes() as u64, l.backlog_packets() as u64);
+                    let link = lid.0 as u64;
+                    if matches!(outcome, EnqueueOutcome::Dropped) {
+                        self.telemetry.emit(self.now, || EventKind::PacketDropped {
+                            link,
+                            flow,
+                            pkt: id,
+                            bytes,
+                            queue_bytes,
+                            reason: if impairment {
+                                "impairment"
+                            } else {
+                                "queue_full"
+                            },
+                        });
+                    } else {
+                        self.telemetry.emit(self.now, || EventKind::PacketEnqueued {
+                            link,
+                            flow,
+                            pkt: id,
+                            bytes,
+                            queue_bytes,
+                            queue_pkts,
+                        });
+                    }
                 }
             }
             None => self.unrouted_drops += 1,
+        }
+    }
+
+    /// Emit a `rate_step` event when the link's shaping profile has moved
+    /// since the last packet touched it. Sampling at packet touch points
+    /// keeps the hook event-driven (no poller) while still recording every
+    /// step a packet could observe.
+    fn note_rate(&mut self, lid: LinkId) {
+        if self.tel_rates.len() < self.links.len() {
+            self.tel_rates.resize(self.links.len(), f64::NAN);
+        }
+        let bps = self.links[lid.0].rate_at(self.now);
+        if self.tel_rates[lid.0].to_bits() != bps.to_bits() {
+            self.tel_rates[lid.0] = bps;
+            let link = lid.0 as u64;
+            self.telemetry
+                .emit(self.now, || EventKind::RateStep { link, bps });
         }
     }
 
@@ -407,6 +535,46 @@ impl<P: 'static> Network<P> {
                 .map(|o| o.checks_performed())
                 .sum::<u64>()
             + self.links.iter().map(|l| l.audit_checks()).sum::<u64>()
+    }
+
+    /// Forward invariant violations detected since the last call into the
+    /// telemetry recorder, so a failing trace shows the violation amid the
+    /// packet events that led up to it. Cheap when nothing is wrong: one
+    /// count comparison per processed event.
+    fn emit_new_violations(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let n = self.violation_count();
+        if n > self.tel_violations_seen {
+            let all = self.invariant_violations();
+            for v in &all[self.tel_violations_seen..] {
+                let (invariant, detail) = (v.invariant.to_string(), v.detail.clone());
+                self.telemetry
+                    .emit(self.now, || EventKind::InvariantViolation {
+                        invariant,
+                        detail,
+                    });
+            }
+            self.tel_violations_seen = n;
+        }
+    }
+
+    /// Total violations recorded so far, without allocating the merged
+    /// report that [`Network::invariant_violations`] builds.
+    fn violation_count(&self) -> usize {
+        use vcabench_simcore::Invariant;
+        self.clock.violations().len()
+            + self
+                .observers
+                .iter()
+                .map(|o| o.violations().len())
+                .sum::<usize>()
+            + self
+                .links
+                .iter()
+                .map(|l| l.audit_violations().len())
+                .sum::<usize>()
     }
 
     /// Panic with a readable report if any invariant was violated.
@@ -560,6 +728,42 @@ mod tests {
         assert!(dropped > 0, "overload must drop");
         let sink: &Sink = net.agent(dst);
         assert_eq!(sink.received, delivered);
+    }
+
+    #[test]
+    fn telemetry_records_packet_lifecycle() {
+        // Same overload setup as `conservation_under_overload`, with a
+        // recorder attached: every engine-side drop must appear in the log.
+        let (mut net, src, _router, dst, up) = build_chain(1.0);
+        let (tel, log) =
+            vcabench_telemetry::Telemetry::with_log(vcabench_telemetry::EventLog::unbounded());
+        net.set_telemetry(tel);
+        net.set_agent(
+            src,
+            Box::new(Source {
+                flow: FlowId(7),
+                dst,
+                count: 500,
+                size: 1250,
+                spacing: SimDuration::from_millis(1), // 10 Mbps into 1 Mbps
+                sent: 0,
+            }),
+        );
+        net.run_until(SimTime::from_secs(2));
+        let dropped = net.link(up).stats.total_dropped();
+        assert!(dropped > 0, "overload must drop");
+        let log = log.borrow();
+        assert_eq!(log.count("packet_drop"), dropped);
+        assert!(log.count("packet_enqueue") > 0);
+        assert!(log.count("packet_dequeue") > 0);
+        // Each link reports its shaping rate the first time it is touched.
+        assert!(log.count("rate_step") >= 2);
+        // Events land in nondecreasing sim-time order (the JSONL contract).
+        let mut last = SimTime::ZERO;
+        for ev in log.events() {
+            assert!(ev.at >= last, "out of order at {}", ev.at);
+            last = ev.at;
+        }
     }
 
     #[test]

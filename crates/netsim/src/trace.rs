@@ -152,9 +152,12 @@ impl FlowTraces {
         &self.total
     }
 
-    /// All flows seen.
+    /// All flows seen, in ascending id order (the backing map iterates in
+    /// arbitrary order, which must not leak to callers).
     pub fn flows(&self) -> impl Iterator<Item = FlowId> + '_ {
-        self.per_flow.keys().copied()
+        let mut ids: Vec<FlowId> = self.per_flow.keys().copied().collect();
+        ids.sort_unstable_by_key(|f| f.0);
+        ids.into_iter()
     }
 
     /// Combined Mbps series of a set of flows (zero-padded to `until`).
@@ -271,6 +274,31 @@ mod tests {
         // 1.5 s of 100 ms bins into 1 s bins, padded to 3 s.
         let b = tr.binned_bytes(SimDuration::from_secs(1), SimTime::from_secs(3));
         assert_eq!(b, vec![100, 50, 0]);
+    }
+
+    #[test]
+    fn binned_bytes_truncates_when_until_is_short() {
+        let mut tr = BinTrace::new(SimDuration::from_millis(100));
+        // 3 s of recorded data...
+        for i in 0..30 {
+            tr.record(SimTime::from_millis(i * 100), 10);
+        }
+        // ...re-binned only out to 2 s: bins past `until` are dropped.
+        let b = tr.binned_bytes(SimDuration::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(b, vec![100, 100]);
+        assert!(tr
+            .binned_bytes(SimDuration::from_secs(1), SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn flows_iterate_in_sorted_order() {
+        let mut ft = FlowTraces::new();
+        for id in [9u64, 2, 33, 5, 1, 21, 8, 13] {
+            ft.record(FlowId(id), SimTime::from_millis(10), 100);
+        }
+        let ids: Vec<u64> = ft.flows().map(|f| f.0).collect();
+        assert_eq!(ids, vec![1, 2, 5, 8, 9, 13, 21, 33]);
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Typed, sim-timestamped trace events.
+//!
+//! Every event serializes to one JSON object with a fixed key order:
+//! `t` (microseconds of sim time), `kind` (a stable snake_case tag), then
+//! the kind's fields in declaration order. The order is part of the trace
+//! schema ([`crate::TRACE_SCHEMA_VERSION`]) — byte-identical traces across
+//! runs and worker counts are a hard requirement, so nothing here may
+//! iterate a hash map or consult a wall clock.
+
+use serde_json::{Map, Value};
+use vcabench_simcore::SimTime;
+
+/// What happened, without the timestamp. See [`Event`] for the full record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A packet was accepted by a link (head-of-line or queued). Queue
+    /// depths are sampled *after* the enqueue.
+    PacketEnqueued {
+        /// Link index the packet entered.
+        link: u64,
+        /// Flow the packet belongs to.
+        flow: u64,
+        /// Simulator-global packet id.
+        pkt: u64,
+        /// Packet size in bytes.
+        bytes: u64,
+        /// Queued bytes behind the packet in service, after this enqueue.
+        queue_bytes: u64,
+        /// Queued packets behind the packet in service, after this enqueue.
+        queue_pkts: u64,
+    },
+    /// A packet finished serialization and left the link. Queue depth is
+    /// sampled after the departure.
+    PacketDequeued {
+        /// Link index the packet left.
+        link: u64,
+        /// Flow the packet belongs to.
+        flow: u64,
+        /// Simulator-global packet id.
+        pkt: u64,
+        /// Packet size in bytes.
+        bytes: u64,
+        /// Queued bytes remaining after this departure.
+        queue_bytes: u64,
+    },
+    /// A packet was dropped at a link.
+    PacketDropped {
+        /// Link index that dropped the packet.
+        link: u64,
+        /// Flow the packet belonged to.
+        flow: u64,
+        /// Simulator-global packet id.
+        pkt: u64,
+        /// Packet size in bytes.
+        bytes: u64,
+        /// Queued bytes at drop time.
+        queue_bytes: u64,
+        /// Why: `"queue_full"` (tail drop) or `"impairment"` (the
+        /// deterministic drop-every-N loss model).
+        reason: &'static str,
+    },
+    /// A link's shaping profile stepped to a new service rate.
+    RateStep {
+        /// Link index whose rate changed.
+        link: u64,
+        /// New service rate in bits per second.
+        bps: f64,
+    },
+    /// A congestion controller changed state (FBRA ramp/probe/…,
+    /// GCC increase/hold/decrease, Teams recover/track).
+    CcState {
+        /// Client index owning the controller.
+        client: u64,
+        /// Controller family: `"gcc"`, `"fbra"`, or `"teams"`.
+        controller: &'static str,
+        /// New state name (stable per-controller vocabulary).
+        state: &'static str,
+        /// Detector signal that caused the transition (GCC only:
+        /// `"overuse"` / `"underuse"` / `"normal"`).
+        signal: Option<&'static str>,
+        /// Controller send-rate target after the transition, Mbps.
+        target_mbps: f64,
+    },
+    /// The sender's planned FEC ratio changed.
+    FecRatio {
+        /// Client index.
+        client: u64,
+        /// Controller-requested FEC fraction of the total budget.
+        fraction: f64,
+        /// Realized FEC-to-media ratio after stream planning.
+        fec_per_media: f64,
+    },
+    /// The encoder's layer/simulcast plan changed shape.
+    LayerSwitch {
+        /// Client index.
+        client: u64,
+        /// Number of simulcast streams in the new plan.
+        streams: u64,
+        /// Width in pixels of the top layer (0 when no streams).
+        top_width: u64,
+        /// Frame rate of the top layer (0 when no streams).
+        top_fps: f64,
+    },
+    /// A Full Intra Request was sent or received.
+    Fir {
+        /// Client index observing the FIR.
+        client: u64,
+        /// SSRC the request refers to.
+        ssrc: u64,
+        /// `"sent"` or `"received"`.
+        dir: &'static str,
+    },
+    /// The receive-side freeze detector flagged a new freeze.
+    Freeze {
+        /// Client index whose render path froze.
+        client: u64,
+        /// Index of the sending client.
+        sender: u64,
+        /// Cumulative freeze count for this sender.
+        count: u64,
+        /// Cumulative freeze time for this sender, milliseconds.
+        total_ms: f64,
+    },
+    /// A testkit invariant violation, interleaved with the packet events
+    /// that led up to it (only present when `testkit-checks` is armed).
+    InvariantViolation {
+        /// Name of the violated invariant.
+        invariant: String,
+        /// Human-readable violation detail.
+        detail: String,
+    },
+}
+
+/// A trace event: when plus what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time of emission.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl EventKind {
+    /// Stable snake_case tag identifying the event kind in the JSONL schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PacketEnqueued { .. } => "packet_enqueue",
+            EventKind::PacketDequeued { .. } => "packet_dequeue",
+            EventKind::PacketDropped { .. } => "packet_drop",
+            EventKind::RateStep { .. } => "rate_step",
+            EventKind::CcState { .. } => "cc_state",
+            EventKind::FecRatio { .. } => "fec_ratio",
+            EventKind::LayerSwitch { .. } => "layer_switch",
+            EventKind::Fir { .. } => "fir",
+            EventKind::Freeze { .. } => "freeze",
+            EventKind::InvariantViolation { .. } => "invariant_violation",
+        }
+    }
+
+    /// All kind tags the schema defines, sorted (for validators and docs).
+    pub const NAMES: [&'static str; 10] = [
+        "cc_state",
+        "fec_ratio",
+        "fir",
+        "freeze",
+        "invariant_violation",
+        "layer_switch",
+        "packet_dequeue",
+        "packet_drop",
+        "packet_enqueue",
+        "rate_step",
+    ];
+}
+
+impl Event {
+    /// Serialize to a JSON object with the schema's fixed key order.
+    pub fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("t".to_string(), Value::U64(self.at.as_micros()));
+        m.insert(
+            "kind".to_string(),
+            Value::String(self.kind.name().to_string()),
+        );
+        let s = |v: &str| Value::String(v.to_string());
+        match &self.kind {
+            EventKind::PacketEnqueued {
+                link,
+                flow,
+                pkt,
+                bytes,
+                queue_bytes,
+                queue_pkts,
+            } => {
+                m.insert("link".to_string(), Value::U64(*link));
+                m.insert("flow".to_string(), Value::U64(*flow));
+                m.insert("pkt".to_string(), Value::U64(*pkt));
+                m.insert("bytes".to_string(), Value::U64(*bytes));
+                m.insert("queue_bytes".to_string(), Value::U64(*queue_bytes));
+                m.insert("queue_pkts".to_string(), Value::U64(*queue_pkts));
+            }
+            EventKind::PacketDequeued {
+                link,
+                flow,
+                pkt,
+                bytes,
+                queue_bytes,
+            } => {
+                m.insert("link".to_string(), Value::U64(*link));
+                m.insert("flow".to_string(), Value::U64(*flow));
+                m.insert("pkt".to_string(), Value::U64(*pkt));
+                m.insert("bytes".to_string(), Value::U64(*bytes));
+                m.insert("queue_bytes".to_string(), Value::U64(*queue_bytes));
+            }
+            EventKind::PacketDropped {
+                link,
+                flow,
+                pkt,
+                bytes,
+                queue_bytes,
+                reason,
+            } => {
+                m.insert("link".to_string(), Value::U64(*link));
+                m.insert("flow".to_string(), Value::U64(*flow));
+                m.insert("pkt".to_string(), Value::U64(*pkt));
+                m.insert("bytes".to_string(), Value::U64(*bytes));
+                m.insert("queue_bytes".to_string(), Value::U64(*queue_bytes));
+                m.insert("reason".to_string(), s(reason));
+            }
+            EventKind::RateStep { link, bps } => {
+                m.insert("link".to_string(), Value::U64(*link));
+                m.insert("bps".to_string(), Value::F64(*bps));
+            }
+            EventKind::CcState {
+                client,
+                controller,
+                state,
+                signal,
+                target_mbps,
+            } => {
+                m.insert("client".to_string(), Value::U64(*client));
+                m.insert("controller".to_string(), s(controller));
+                m.insert("state".to_string(), s(state));
+                m.insert("signal".to_string(), signal.map(s).unwrap_or(Value::Null));
+                m.insert("target_mbps".to_string(), Value::F64(*target_mbps));
+            }
+            EventKind::FecRatio {
+                client,
+                fraction,
+                fec_per_media,
+            } => {
+                m.insert("client".to_string(), Value::U64(*client));
+                m.insert("fraction".to_string(), Value::F64(*fraction));
+                m.insert("fec_per_media".to_string(), Value::F64(*fec_per_media));
+            }
+            EventKind::LayerSwitch {
+                client,
+                streams,
+                top_width,
+                top_fps,
+            } => {
+                m.insert("client".to_string(), Value::U64(*client));
+                m.insert("streams".to_string(), Value::U64(*streams));
+                m.insert("top_width".to_string(), Value::U64(*top_width));
+                m.insert("top_fps".to_string(), Value::F64(*top_fps));
+            }
+            EventKind::Fir { client, ssrc, dir } => {
+                m.insert("client".to_string(), Value::U64(*client));
+                m.insert("ssrc".to_string(), Value::U64(*ssrc));
+                m.insert("dir".to_string(), s(dir));
+            }
+            EventKind::Freeze {
+                client,
+                sender,
+                count,
+                total_ms,
+            } => {
+                m.insert("client".to_string(), Value::U64(*client));
+                m.insert("sender".to_string(), Value::U64(*sender));
+                m.insert("count".to_string(), Value::U64(*count));
+                m.insert("total_ms".to_string(), Value::F64(*total_ms));
+            }
+            EventKind::InvariantViolation { invariant, detail } => {
+                m.insert("invariant".to_string(), Value::String(invariant.clone()));
+                m.insert("detail".to_string(), Value::String(detail.clone()));
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// Serialize to one compact JSONL line (no trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        serde_json::to_string(&self.to_json_value()).expect("event serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_is_fixed_and_kind_tags_are_stable() {
+        let ev = Event {
+            at: SimTime::from_millis(1500),
+            kind: EventKind::PacketDropped {
+                link: 2,
+                flow: 7,
+                pkt: 901,
+                bytes: 1200,
+                queue_bytes: 65_536,
+                reason: "queue_full",
+            },
+        };
+        assert_eq!(
+            ev.to_jsonl_line(),
+            "{\"t\":1500000,\"kind\":\"packet_drop\",\"link\":2,\"flow\":7,\
+             \"pkt\":901,\"bytes\":1200,\"queue_bytes\":65536,\"reason\":\"queue_full\"}"
+        );
+    }
+
+    #[test]
+    fn names_list_is_sorted_and_complete() {
+        let mut sorted = EventKind::NAMES;
+        sorted.sort_unstable();
+        assert_eq!(sorted, EventKind::NAMES);
+        // Spot-check the mapping both ways for a few kinds.
+        let cc = EventKind::CcState {
+            client: 0,
+            controller: "fbra",
+            state: "ramp",
+            signal: None,
+            target_mbps: 1.0,
+        };
+        assert!(EventKind::NAMES.contains(&cc.name()));
+    }
+}

@@ -1,0 +1,362 @@
+//! Run-artifact export: versioned JSONL event traces, CSV time series,
+//! per-run manifests, and the trace-line validator.
+//!
+//! A traced run produces three files named by its deterministic run label:
+//!
+//! - `<label>.events.jsonl` — one [`Event`](crate::Event) per line
+//!   (see [`validate_event_line`] for the schema);
+//! - `<label>.series.csv` — the run's headline time series, one header
+//!   row then one row per sample;
+//! - `<label>.manifest.json` — a [`RunManifest`]: schema version, spec
+//!   hash, seed, event counts, and a metrics snapshot, tying a cached
+//!   outcome back to its trace evidence.
+//!
+//! All three are pure functions of the event log and outcome, so they are
+//! byte-identical across worker counts and invocations.
+
+use std::collections::BTreeMap;
+
+use serde_json::{Map, Value};
+
+use crate::metrics::MetricsRegistry;
+use crate::recorder::EventLog;
+use crate::TRACE_SCHEMA_VERSION;
+
+/// Serialize an event log as JSONL (one compact object per line, trailing
+/// newline after the last event, empty string for an empty log).
+pub fn events_jsonl(log: &EventLog) -> String {
+    let mut out = String::new();
+    for ev in log.events() {
+        out.push_str(&ev.to_jsonl_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Expected type of one schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldType {
+    /// A non-negative integer (u64).
+    UInt,
+    /// Any JSON number (integers are fine: `1e6` serializes as `1000000`).
+    Num,
+    /// A string.
+    Str,
+    /// A string or `null`.
+    StrOrNull,
+}
+
+/// Field table for one event kind, in required serialization order.
+fn fields_for(kind: &str) -> Option<&'static [(&'static str, FieldType)]> {
+    use FieldType::*;
+    Some(match kind {
+        "packet_enqueue" => &[
+            ("link", UInt),
+            ("flow", UInt),
+            ("pkt", UInt),
+            ("bytes", UInt),
+            ("queue_bytes", UInt),
+            ("queue_pkts", UInt),
+        ],
+        "packet_dequeue" => &[
+            ("link", UInt),
+            ("flow", UInt),
+            ("pkt", UInt),
+            ("bytes", UInt),
+            ("queue_bytes", UInt),
+        ],
+        "packet_drop" => &[
+            ("link", UInt),
+            ("flow", UInt),
+            ("pkt", UInt),
+            ("bytes", UInt),
+            ("queue_bytes", UInt),
+            ("reason", Str),
+        ],
+        "rate_step" => &[("link", UInt), ("bps", Num)],
+        "cc_state" => &[
+            ("client", UInt),
+            ("controller", Str),
+            ("state", Str),
+            ("signal", StrOrNull),
+            ("target_mbps", Num),
+        ],
+        "fec_ratio" => &[("client", UInt), ("fraction", Num), ("fec_per_media", Num)],
+        "layer_switch" => &[
+            ("client", UInt),
+            ("streams", UInt),
+            ("top_width", UInt),
+            ("top_fps", Num),
+        ],
+        "fir" => &[("client", UInt), ("ssrc", UInt), ("dir", Str)],
+        "freeze" => &[
+            ("client", UInt),
+            ("sender", UInt),
+            ("count", UInt),
+            ("total_ms", Num),
+        ],
+        "invariant_violation" => &[("invariant", Str), ("detail", Str)],
+        _ => return None,
+    })
+}
+
+fn type_ok(v: &Value, ty: FieldType) -> bool {
+    match ty {
+        FieldType::UInt => matches!(v, Value::U64(_)) || matches!(v, Value::I64(n) if *n >= 0),
+        FieldType::Num => matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_)),
+        FieldType::Str => matches!(v, Value::String(_)),
+        FieldType::StrOrNull => matches!(v, Value::String(_) | Value::Null),
+    }
+}
+
+/// Validate one JSONL trace line against schema
+/// [`TRACE_SCHEMA_VERSION`]. Returns the event kind tag on success.
+///
+/// Checks: the line parses as a JSON object; `t` is a non-negative
+/// integer; `kind` is a known tag; exactly the kind's fields are present
+/// with the right types (extra or missing fields are errors — the schema
+/// is closed).
+pub fn validate_event_line(line: &str) -> Result<String, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let obj = v.as_object().ok_or("line is not a JSON object")?;
+    let t = v.get("t").ok_or("missing field `t`")?;
+    if !type_ok(t, FieldType::UInt) {
+        return Err("field `t` must be a non-negative integer".to_string());
+    }
+    let kind = v
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or("missing or non-string field `kind`")?
+        .to_string();
+    let fields = fields_for(&kind).ok_or_else(|| format!("unknown event kind `{kind}`"))?;
+    for (name, ty) in fields {
+        let val = v
+            .get(name)
+            .ok_or_else(|| format!("`{kind}` is missing field `{name}`"))?;
+        if !type_ok(val, *ty) {
+            return Err(format!("`{kind}` field `{name}` has the wrong type"));
+        }
+    }
+    let expected = fields.len() + 2; // + t, kind
+    let actual = obj.len();
+    if actual != expected {
+        return Err(format!(
+            "`{kind}` has {actual} fields, schema expects {expected} (closed schema)"
+        ));
+    }
+    Ok(kind)
+}
+
+/// Validate a whole JSONL document; on failure reports the 1-based line
+/// number. Returns per-kind line counts on success.
+pub fn validate_jsonl(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut counts = BTreeMap::new();
+    let mut last_t = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let kind = validate_event_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        // Sim-time order is part of the contract.
+        let t = serde_json::from_str::<Value>(line)
+            .ok()
+            .and_then(|v| v.get("t").and_then(|t| t.as_u64()))
+            .unwrap_or(0);
+        if t < last_t {
+            return Err(format!("line {}: timestamp {t} goes backwards", i + 1));
+        }
+        last_t = t;
+        *counts.entry(kind).or_insert(0) += 1;
+    }
+    Ok(counts)
+}
+
+/// Per-run manifest tying a trace to the spec and cache entry it came
+/// from. Serializes with a fixed key order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Trace schema version ([`TRACE_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Deterministic run label (also the artifact file stem).
+    pub label: String,
+    /// Content hash of the normalized spec (the result-cache key).
+    pub spec_hash: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Total events recorded (including any evicted from a bounded ring).
+    pub events_total: u64,
+    /// Events present in the exported JSONL.
+    pub events_stored: u64,
+    /// Per-kind event counts, sorted by kind tag.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Metrics snapshot derived from the event log.
+    pub metrics: Value,
+}
+
+impl RunManifest {
+    /// Build a manifest for `label`/`spec_hash`/`seed` from an event log.
+    pub fn for_run(label: &str, spec_hash: &str, seed: u64, log: &EventLog) -> Self {
+        RunManifest {
+            schema: TRACE_SCHEMA_VERSION,
+            label: label.to_string(),
+            spec_hash: spec_hash.to_string(),
+            seed,
+            events_total: log.total_recorded(),
+            events_stored: log.len() as u64,
+            event_counts: log
+                .counts()
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            metrics: MetricsRegistry::from_events(log).snapshot(),
+        }
+    }
+
+    /// Serialize with fixed top-level key order and sorted inner keys.
+    pub fn to_json_value(&self) -> Value {
+        let mut counts = Map::new();
+        for (k, &v) in &self.event_counts {
+            counts.insert(k.clone(), Value::U64(v));
+        }
+        let mut m = Map::new();
+        m.insert("schema".to_string(), Value::U64(self.schema as u64));
+        m.insert("label".to_string(), Value::String(self.label.clone()));
+        m.insert(
+            "spec_hash".to_string(),
+            Value::String(self.spec_hash.clone()),
+        );
+        m.insert("seed".to_string(), Value::U64(self.seed));
+        m.insert("events_total".to_string(), Value::U64(self.events_total));
+        m.insert("events_stored".to_string(), Value::U64(self.events_stored));
+        m.insert("event_counts".to_string(), Value::Object(counts));
+        m.insert("metrics".to_string(), self.metrics.clone());
+        Value::Object(m)
+    }
+}
+
+/// Pretty-printed manifest JSON (with trailing newline).
+pub fn manifest_json(m: &RunManifest) -> String {
+    let mut text = serde_json::to_string_pretty(&m.to_json_value())
+        .expect("manifest serialization is infallible");
+    text.push('\n');
+    text
+}
+
+/// Render a CSV document: a header row then one row per record, floats
+/// via shortest-round-trip formatting (deterministic).
+pub fn series_csv(headers: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len());
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::Recorder;
+    use vcabench_simcore::SimTime;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::unbounded();
+        log.record(
+            SimTime::from_micros(10),
+            EventKind::RateStep { link: 0, bps: 1e6 },
+        );
+        log.record(
+            SimTime::from_micros(20),
+            EventKind::PacketDropped {
+                link: 0,
+                flow: 3,
+                pkt: 42,
+                bytes: 1200,
+                queue_bytes: 65_536,
+                reason: "queue_full",
+            },
+        );
+        log.record(
+            SimTime::from_micros(30),
+            EventKind::CcState {
+                client: 0,
+                controller: "gcc",
+                state: "decrease",
+                signal: Some("overuse"),
+                target_mbps: 0.75,
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let text = events_jsonl(&sample_log());
+        assert_eq!(text.lines().count(), 3);
+        let counts = validate_jsonl(&text).expect("all lines valid");
+        assert_eq!(counts["rate_step"], 1);
+        assert_eq!(counts["packet_drop"], 1);
+        assert_eq!(counts["cc_state"], 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_event_line("not json").is_err());
+        assert!(validate_event_line("[1,2]").is_err());
+        assert!(
+            validate_event_line("{\"kind\":\"fir\"}").is_err(),
+            "missing t"
+        );
+        assert!(
+            validate_event_line("{\"t\":1,\"kind\":\"no_such_kind\"}").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            validate_event_line("{\"t\":1,\"kind\":\"fir\",\"client\":0,\"ssrc\":5}").is_err(),
+            "missing dir"
+        );
+        assert!(
+            validate_event_line(
+                "{\"t\":1,\"kind\":\"fir\",\"client\":0,\"ssrc\":5,\"dir\":\"sent\",\"extra\":1}"
+            )
+            .is_err(),
+            "closed schema rejects extra fields"
+        );
+        assert!(
+            validate_event_line(
+                "{\"t\":1,\"kind\":\"fir\",\"client\":-2,\"ssrc\":5,\"dir\":\"sent\"}"
+            )
+            .is_err(),
+            "negative uint"
+        );
+        // Out-of-order timestamps fail the document validator.
+        let doc = "{\"t\":5,\"kind\":\"fir\",\"client\":0,\"ssrc\":1,\"dir\":\"sent\"}\n\
+                   {\"t\":4,\"kind\":\"fir\",\"client\":0,\"ssrc\":1,\"dir\":\"sent\"}\n";
+        assert!(validate_jsonl(doc).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn manifest_serializes_with_fixed_key_order() {
+        let log = sample_log();
+        let man = RunManifest::for_run("shaped_zoom_s1", "deadbeef", 7, &log);
+        assert_eq!(man.events_total, 3);
+        assert_eq!(man.events_stored, 3);
+        let text = manifest_json(&man);
+        let schema_pos = text.find("\"schema\"").unwrap();
+        let label_pos = text.find("\"label\"").unwrap();
+        let metrics_pos = text.find("\"metrics\"").unwrap();
+        assert!(schema_pos < label_pos && label_pos < metrics_pos);
+        // Round trip: the manifest stays valid JSON.
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(7));
+        assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn csv_is_deterministic_shortest_round_trip() {
+        let text = series_csv(&["t_secs", "up_mbps"], &[vec![0.0, 1.5], vec![0.1, 0.9375]]);
+        assert_eq!(text, "t_secs,up_mbps\n0,1.5\n0.1,0.9375\n");
+    }
+}

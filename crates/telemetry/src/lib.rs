@@ -1,0 +1,56 @@
+//! vcabench-telemetry: deterministic event tracing, metrics, and profiling
+//! for the simulation stack.
+//!
+//! The paper's methodology is pure observation — packet captures at the
+//! shaped access link plus periodic `webrtc-internals` dumps (§2.2, §3.2)
+//! are what make every figure possible. This crate gives the reproduction
+//! the same evidence layer: a typed, sim-timestamped event stream recording
+//! *which* packet was dropped, *when* FBRA left ramp, and *why* GCC backed
+//! off, exportable as diffable run artifacts.
+//!
+//! Pieces:
+//!
+//! 1. **Events** ([`Event`], [`EventKind`]): typed records carrying
+//!    sim-time timestamps — packet enqueue/dequeue/drop with queue depth,
+//!    rate-profile steps, congestion-controller state transitions,
+//!    FEC-ratio changes, encoder layer switches, FIR and freeze events,
+//!    and invariant violations surfaced by the testkit layer.
+//! 2. **Recorder** ([`Recorder`], [`Telemetry`], [`EventLog`]): the hook
+//!    half. A [`Telemetry`] handle is cloned into every instrumented
+//!    component; when disabled (the default) each hook is a single
+//!    `Option` null-check and the event is never constructed — the runtime
+//!    analogue of how the `testkit-checks` feature compiles its hooks away.
+//! 3. **Metrics** ([`MetricsRegistry`]): counters / gauges / histograms
+//!    with deterministic sorted-key snapshots.
+//! 4. **Profiler** ([`Profiler`]): counts and wall-clock-times sim events
+//!    per type so `repro --profile` can print a "where does sim time go"
+//!    table. Wall-clock numbers are print-only and never enter a trace.
+//! 5. **Export** ([`export`]): a versioned JSONL event-trace format
+//!    (schema [`TRACE_SCHEMA_VERSION`]), CSV time series, a per-run
+//!    manifest, and a line validator used by `repro validate-trace` and CI.
+//!
+//! Determinism is a hard requirement: identical spec + seed must produce
+//! byte-identical JSONL regardless of worker count. Everything here is
+//! ordered — events by simulation time of emission, metric snapshots by
+//! key — and floats serialize via Rust's shortest-round-trip formatting.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod profiler;
+pub mod recorder;
+
+pub use event::{Event, EventKind};
+pub use export::{
+    events_jsonl, manifest_json, series_csv, validate_event_line, validate_jsonl, RunManifest,
+};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use profiler::Profiler;
+pub use recorder::{EventLog, NullRecorder, Recorder, Telemetry};
+
+/// Version of the JSONL event-trace schema. Bump on any change to event
+/// names, field names, field types, or serialization order; the value is
+/// embedded in every run manifest so traces remain interpretable.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;

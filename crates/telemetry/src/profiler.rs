@@ -1,0 +1,143 @@
+//! A sim-engine profiler: counts and wall-clock-times handled events per
+//! type, answering "where does sim time go".
+//!
+//! Wall-clock durations are nondeterministic by nature, so profiler
+//! output is print-only (`repro --profile`) and never enters a trace or
+//! manifest. Keys are `&'static str` labels supplied by the engine (one
+//! per event type) and rows render sorted by total time.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Accumulated cost of one event type.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Events handled.
+    pub count: u64,
+    /// Total wall-clock nanoseconds spent handling them.
+    pub nanos: u128,
+}
+
+/// Per-event-type count + wall-clock accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct Profiler {
+    rows: BTreeMap<&'static str, ProfileRow>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Record one handled event of type `key` that took `elapsed`.
+    #[inline]
+    pub fn record(&mut self, key: &'static str, elapsed: Duration) {
+        let row = self.rows.entry(key).or_default();
+        row.count += 1;
+        row.nanos += elapsed.as_nanos();
+    }
+
+    /// Rows keyed by event type, sorted by key.
+    pub fn rows(&self) -> &BTreeMap<&'static str, ProfileRow> {
+        &self.rows
+    }
+
+    /// Total events recorded.
+    pub fn total_count(&self) -> u64 {
+        self.rows.values().map(|r| r.count).sum()
+    }
+
+    /// Total wall-clock nanoseconds recorded.
+    pub fn total_nanos(&self) -> u128 {
+        self.rows.values().map(|r| r.nanos).sum()
+    }
+
+    /// Merge another profiler's rows into this one.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (key, row) in &other.rows {
+            let mine = self.rows.entry(key).or_default();
+            mine.count += row.count;
+            mine.nanos += row.nanos;
+        }
+    }
+
+    /// Render the "where does sim time go" table: one row per event type,
+    /// sorted by total time descending (ties by name), plus a total row.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(&str, ProfileRow)> = self.rows.iter().map(|(k, r)| (*k, *r)).collect();
+        rows.sort_by(|a, b| b.1.nanos.cmp(&a.1.nanos).then(a.0.cmp(b.0)));
+        let total = self.total_nanos().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>10} {:>7}\n",
+            "event", "count", "total ms", "avg ns", "share"
+        ));
+        for (key, row) in rows {
+            let avg = if row.count > 0 {
+                row.nanos / row.count as u128
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>12.3} {:>10} {:>6.1}%\n",
+                key,
+                row.count,
+                row.nanos as f64 / 1e6,
+                avg,
+                100.0 * row.nanos as f64 / total as f64,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12.3}\n",
+            "total",
+            self.total_count(),
+            self.total_nanos() as f64 / 1e6,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_merges_and_renders() {
+        let mut p = Profiler::new();
+        p.record("arrive", Duration::from_nanos(500));
+        p.record("arrive", Duration::from_nanos(1500));
+        p.record("timer", Duration::from_nanos(1000));
+        let mut q = Profiler::new();
+        q.record("timer", Duration::from_nanos(3000));
+        p.merge(&q);
+
+        assert_eq!(p.total_count(), 4);
+        assert_eq!(p.total_nanos(), 6000);
+        assert_eq!(
+            p.rows()["arrive"],
+            ProfileRow {
+                count: 2,
+                nanos: 2000
+            }
+        );
+        assert_eq!(
+            p.rows()["timer"],
+            ProfileRow {
+                count: 2,
+                nanos: 4000
+            }
+        );
+
+        let table = p.render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("event"));
+        // timer (4000 ns) outranks arrive (2000 ns).
+        assert!(
+            lines[1].starts_with("timer"),
+            "table sorted by time: {table}"
+        );
+        assert!(lines[2].starts_with("arrive"));
+        assert!(lines[3].starts_with("total"));
+    }
+}

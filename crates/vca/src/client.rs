@@ -18,6 +18,7 @@ use vcabench_media::{
 };
 use vcabench_netsim::{Agent, Ctx, FlowId, NodeId, Packet};
 use vcabench_simcore::{SimDuration, SimRng, SimTime};
+use vcabench_telemetry::{EventKind, Telemetry};
 use vcabench_transport::{
     rtcp::{FirTracker, ReceiverReport, RtcpPacket},
     rtp::{FrameMeta, RtpPacket, RtpRecvState, RtpSendState, StreamKind},
@@ -90,6 +91,33 @@ impl Controller {
             Controller::Teams(c) => c.set_bounds(min, max),
         }
     }
+
+    /// Controller family name (stable telemetry vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Controller::Gcc(_) => "gcc",
+            Controller::Fbra(_) => "fbra",
+            Controller::Teams(_) => "teams",
+        }
+    }
+
+    /// Current state-machine state name (per-family vocabulary).
+    pub fn state_name(&self) -> &'static str {
+        match self {
+            Controller::Gcc(c) => c.state_name(),
+            Controller::Fbra(c) => c.state_name(),
+            Controller::Teams(c) => c.state_name(),
+        }
+    }
+
+    /// Most recent detector signal, for controllers that have one
+    /// (GCC's overuse/underuse/normal).
+    pub fn signal_name(&self) -> Option<&'static str> {
+        match self {
+            Controller::Gcc(c) => Some(c.signal_name()),
+            Controller::Fbra(_) | Controller::Teams(_) => None,
+        }
+    }
 }
 
 /// Receive-side state for one inbound SSRC.
@@ -153,6 +181,14 @@ pub struct VcaClient {
     /// When the client joins the call (simulation of the paper's staggered
     /// starts: competing applications enter ~30 s into the experiment).
     pub join_at: SimTime,
+    /// Trace hook (disabled by default; see [`VcaClient::set_telemetry`]).
+    tel: Telemetry,
+    /// Last emitted (state, signal) pair, for change detection.
+    tel_cc: Option<(&'static str, &'static str)>,
+    /// Last emitted (fraction, fec_per_media) bit patterns.
+    tel_fec: Option<(u64, u64)>,
+    /// Last emitted plan shape: (streams, top width, top fps bits).
+    tel_plan: Option<(usize, u32, u64)>,
 }
 
 impl VcaClient {
@@ -220,7 +256,19 @@ impl VcaClient {
             started_at: SimTime::ZERO,
             last_stats_frames: 0,
             join_at: SimTime::ZERO,
+            tel: Telemetry::disabled(),
+            tel_cc: None,
+            tel_fec: None,
+            tel_plan: None,
         }
+    }
+
+    /// Attach a telemetry handle; the client emits congestion-controller
+    /// state transitions, FEC-ratio changes, layer switches, FIR and
+    /// freeze events through it. Use the same handle as the network so one
+    /// recorder sees the whole run in event order.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Delay this client's join until `at`.
@@ -286,6 +334,35 @@ impl VcaClient {
         } else {
             0.0
         };
+        if self.tel.enabled() {
+            let client = self.index as u64;
+            let fec_key = (fec.to_bits(), self.fec_per_media.to_bits());
+            if self.tel_fec != Some(fec_key) {
+                self.tel_fec = Some(fec_key);
+                let fec_per_media = self.fec_per_media;
+                self.tel.emit(ctx.now, || EventKind::FecRatio {
+                    client,
+                    fraction: fec,
+                    fec_per_media,
+                });
+            }
+            let top = self.plans.last();
+            let shape = (
+                self.plans.len(),
+                top.map(|p| p.params.width).unwrap_or(0),
+                top.map(|p| p.params.fps.to_bits()).unwrap_or(0),
+            );
+            if self.tel_plan != Some(shape) {
+                self.tel_plan = Some(shape);
+                let top_fps = top.map(|p| p.params.fps).unwrap_or(0.0);
+                self.tel.emit(ctx.now, || EventKind::LayerSwitch {
+                    client,
+                    streams: shape.0 as u64,
+                    top_width: shape.1 as u64,
+                    top_fps,
+                });
+            }
+        }
         self.ensure_stream_state(self.plans.len());
         for i in 0..self.plans.len() {
             if !self.frame_timer_active[i] {
@@ -582,13 +659,31 @@ impl VcaClient {
             frames_total: 0,
         });
         if let vcabench_media::AssembleEvent::FrameComplete { .. } = ev {
+            let freezes_before = render.freeze.freeze_count;
             render.freeze.on_frame(ctx.now);
             render.frames_total += 1;
+            if render.freeze.freeze_count > freezes_before {
+                let client = self.index as u64;
+                let count = render.freeze.freeze_count;
+                let total_ms = render.freeze.freeze_time.as_secs_f64() * 1000.0;
+                self.tel.emit(ctx.now, || EventKind::Freeze {
+                    client,
+                    sender: sender as u64,
+                    count,
+                    total_ms,
+                });
+            }
         }
         if needs_kf {
             if let Some(fir) = render.fir.request(ctx.now, rtp.ssrc) {
                 let size = fir.wire_size();
                 ctx.send(self.uplink_flow, self.server, size, Wire::Rtcp(fir));
+                let (client, ssrc) = (self.index as u64, rtp.ssrc as u64);
+                self.tel.emit(ctx.now, || EventKind::Fir {
+                    client,
+                    ssrc,
+                    dir: "sent",
+                });
             }
         }
     }
@@ -641,6 +736,24 @@ impl VcaClient {
                         self.controller.set_bounds(0.05, remb.clamp(0.1, 0.96));
                     }
                 }
+                if self.tel.enabled() {
+                    let state = self.controller.state_name();
+                    let signal = self.controller.signal_name();
+                    let key = (state, signal.unwrap_or(""));
+                    if self.tel_cc != Some(key) {
+                        self.tel_cc = Some(key);
+                        let client = self.index as u64;
+                        let controller = self.controller.name();
+                        let target_mbps = self.controller.target_mbps();
+                        self.tel.emit(ctx.now, || EventKind::CcState {
+                            client,
+                            controller,
+                            state,
+                            signal,
+                            target_mbps,
+                        });
+                    }
+                }
             }
             RtcpPacket::Nack { .. } => {
                 // Retransmissions are handled at the SFU (which owns the
@@ -648,6 +761,12 @@ impl VcaClient {
             }
             RtcpPacket::Fir { ssrc, .. } => {
                 self.firs_received += 1;
+                let (client, fir_ssrc) = (self.index as u64, *ssrc as u64);
+                self.tel.emit(ctx.now, || EventKind::Fir {
+                    client,
+                    ssrc: fir_ssrc,
+                    dir: "received",
+                });
                 let base = Self::ssrc_base(self.index);
                 let idx = ssrc.saturating_sub(base) as usize;
                 if let Some(src) = self.sources.get_mut(idx) {

@@ -107,6 +107,16 @@ impl StatsCollector {
             _ => 0,
         }
     }
+
+    /// FIRs received about this client's upstream within `[from, to)` (the
+    /// Fig 3b metric, measured at the constrained sender).
+    pub fn firs_received_between(&self, from: SimTime, to: SimTime) -> u64 {
+        let in_window: Vec<&StatsSample> = self.between(from, to).collect();
+        match (in_window.first(), in_window.last()) {
+            (Some(f), Some(l)) => l.firs_received.saturating_sub(f.firs_received),
+            _ => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +181,67 @@ mod tests {
         assert_eq!(
             c.firs_between(SimTime::from_secs(4), SimTime::from_secs(10)),
             2
+        );
+    }
+
+    #[test]
+    fn single_sample_and_empty_windows_yield_zero() {
+        let mut c = StatsCollector::new();
+        c.push(sample(5, 3, 4));
+        // One sample in the window: no cumulative delta is observable.
+        assert_eq!(
+            c.freeze_ratio_between(SimTime::ZERO, SimTime::from_secs(10)),
+            0.0
+        );
+        assert_eq!(c.firs_between(SimTime::ZERO, SimTime::from_secs(10)), 0);
+        // Window past the data.
+        assert_eq!(
+            c.freeze_ratio_between(SimTime::from_secs(20), SimTime::from_secs(30)),
+            0.0
+        );
+        assert_eq!(
+            c.firs_between(SimTime::from_secs(20), SimTime::from_secs(30)),
+            0
+        );
+        // Zero-length window and a collector with no samples at all.
+        assert_eq!(
+            c.freeze_ratio_between(SimTime::from_secs(10), SimTime::from_secs(10)),
+            0.0
+        );
+        let empty = StatsCollector::new();
+        assert_eq!(
+            empty.freeze_ratio_between(SimTime::ZERO, SimTime::from_secs(10)),
+            0.0
+        );
+        assert_eq!(empty.firs_between(SimTime::ZERO, SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn firs_received_window_counts_delta() {
+        let mut c = StatsCollector::new();
+        c.push(StatsSample {
+            firs_received: 1,
+            ..sample(0, 0, 0)
+        });
+        c.push(StatsSample {
+            firs_received: 4,
+            ..sample(5, 0, 0)
+        });
+        c.push(StatsSample {
+            firs_received: 9,
+            ..sample(9, 0, 0)
+        });
+        assert_eq!(
+            c.firs_received_between(SimTime::ZERO, SimTime::from_secs(10)),
+            8
+        );
+        assert_eq!(
+            c.firs_received_between(SimTime::from_secs(4), SimTime::from_secs(10)),
+            5
+        );
+        assert_eq!(
+            c.firs_received_between(SimTime::from_secs(20), SimTime::from_secs(30)),
+            0
         );
     }
 }

@@ -47,6 +47,7 @@
 //! | [`apps`] | iPerf3, Netflix, YouTube |
 //! | [`stats`] | medians/CIs, time-to-recovery, link shares |
 //! | [`campaign`] | declarative scenario specs, parallel executor, result cache |
+//! | [`telemetry`] | deterministic event tracing, metrics, trace export, profiler |
 //! | [`harness`] | one module per paper table/figure + the `repro` binary |
 //!
 //! Reproduce everything: `cargo run --release -p vcabench-harness --bin repro -- all`.
@@ -62,6 +63,7 @@ pub use vcabench_media as media;
 pub use vcabench_netsim as netsim;
 pub use vcabench_simcore as simcore;
 pub use vcabench_stats as stats;
+pub use vcabench_telemetry as telemetry;
 pub use vcabench_transport as transport;
 pub use vcabench_vca as vca;
 
@@ -71,11 +73,13 @@ pub mod prelude {
         Axes, CampaignSpec, ScenarioOutcome, ScenarioSpec, ScenarioTemplate, SeedAxis, TwoPartySpec,
     };
     pub use vcabench_harness::{
-        run_campaign, run_campaign_cached, run_competition, run_multiparty, run_spec,
-        run_two_party, CompetitionConfig, Competitor, TwoPartyOutcome,
+        run_campaign, run_campaign_cached, run_campaign_cached_traced, run_competition,
+        run_multiparty, run_spec, run_spec_traced, run_two_party, CompetitionConfig, Competitor,
+        TwoPartyOutcome,
     };
     pub use vcabench_netsim::{LinkConfig, Network, RateProfile};
     pub use vcabench_simcore::{SimDuration, SimRng, SimTime};
+    pub use vcabench_telemetry::{EventKind, EventLog, Telemetry};
     pub use vcabench_transport::Wire;
     pub use vcabench_vca::{
         multiparty_call, two_party_call, wire_call, wire_call_at, VcaClient, VcaKind, ViewMode,
