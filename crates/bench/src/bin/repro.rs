@@ -4,6 +4,7 @@
 //! ```text
 //! repro <experiment> [--quick] [--json <path>] [--jobs <n>]
 //! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]
+//! repro bench [--quick] [--baseline <file>] [--out <dir>] [--label <name>] [--threshold <x>]
 //! repro validate-trace <file.jsonl>...
 //! repro --profile [--quick]
 //! ```
@@ -15,6 +16,9 @@
 //! `--trace-dir <dir>` writes per-run telemetry artifacts (JSONL event
 //! trace, series CSV, manifest) next to the campaign result cache;
 //! `validate-trace` checks JSONL traces against the versioned schema;
+//! `bench` runs the pinned engine benchmark suite, writes a versioned
+//! `BENCH_<label>.json` artifact, and (with `--baseline`) exits nonzero if
+//! any scenario's wall time regresses past the threshold;
 //! `--profile` prints a wall-clock profile of the simulation engine.
 
 use std::io::Write;
@@ -71,6 +75,10 @@ fn print_help() {
     println!(
         "       repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]"
     );
+    println!(
+        "       repro bench [--quick] [--baseline <file>] [--out <dir>] [--label <name>] \
+         [--threshold <x>]"
+    );
     println!("       repro validate-trace <file.jsonl>...");
     println!("       repro --profile [--quick]");
     println!();
@@ -83,6 +91,10 @@ fn print_help() {
     println!("  campaign <spec.json>  expand and run a declarative campaign spec;");
     println!("                        results are cached under --out (default");
     println!("                        campaign-results/) keyed by content hash");
+    println!("  bench                 run the pinned engine benchmark suite and write");
+    println!("                        a schema-versioned BENCH_<label>.json artifact;");
+    println!("                        with --baseline, diff against a prior artifact");
+    println!("                        and exit 1 past the wall-time threshold");
     println!("  validate-trace <file.jsonl>...");
     println!("                        validate JSONL event traces against the");
     println!("                        telemetry schema (exit 1 on any violation)");
@@ -92,8 +104,18 @@ fn print_help() {
     println!("  --json <path>      also write machine-readable results to <path>");
     println!("  --jobs <n>         worker threads for campaign-driven runs (default 1;");
     println!("                     output is byte-identical for any n)");
-    println!("  --out <dir>        campaign result-store directory");
+    println!("  --out <dir>        campaign result-store directory (campaign; default");
+    println!("                     campaign-results/) or bench artifact directory");
+    println!("                     (bench; default bench-results/)");
     println!("  --rerun            recompute cached campaign runs");
+    println!("  --baseline <file>  (bench only) BENCH_*.json to diff against");
+    println!("  --label <name>     (bench only) artifact label (default: the mode,");
+    println!("                     `full` or `quick`)");
+    println!(
+        "  --threshold <x>    (bench only) max wall-time ratio vs the baseline \
+         (default {:.1})",
+        vcabench_bench::DEFAULT_THRESHOLD
+    );
     println!("  --trace-dir <dir>  (campaign only) write per-run telemetry artifacts");
     println!("                     (<label>.events.jsonl / .series.csv / .manifest.json)");
     println!("  --profile          profile the simulation engine on a fixed two-party");
@@ -107,10 +129,13 @@ struct Args {
     quick: bool,
     json: Option<String>,
     jobs: usize,
-    out: PathBuf,
+    out: Option<PathBuf>,
     rerun: bool,
     trace_dir: Option<PathBuf>,
     profile: bool,
+    baseline: Option<String>,
+    label: Option<String>,
+    threshold: f64,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -124,10 +149,13 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut json = None;
     let mut jobs = 1usize;
-    let mut out = PathBuf::from("campaign-results");
+    let mut out = None;
     let mut rerun = false;
     let mut trace_dir = None;
     let mut profile = false;
+    let mut baseline = None;
+    let mut label = None;
+    let mut threshold = vcabench_bench::DEFAULT_THRESHOLD;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,10 +174,32 @@ fn parse_args() -> Args {
                 );
             }
             "--out" => {
-                out = PathBuf::from(
+                out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    usage_error("--out requires a directory argument")
+                })));
+            }
+            "--baseline" => {
+                baseline = Some(
                     it.next()
-                        .unwrap_or_else(|| usage_error("--out requires a directory argument")),
+                        .unwrap_or_else(|| usage_error("--baseline requires a path argument")),
                 );
+            }
+            "--label" => {
+                label = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--label requires a name argument")),
+                );
+            }
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--threshold requires a number argument"));
+                threshold = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--threshold expects a number, got `{v}`"))
+                });
+                if !(threshold >= 1.0 && threshold.is_finite()) {
+                    usage_error("--threshold must be a finite ratio >= 1.0");
+                }
             }
             "--jobs" => {
                 let v = it
@@ -204,6 +254,11 @@ fn parse_args() -> Args {
         None
     } else if experiment == "profile" {
         None
+    } else if experiment == "bench" {
+        if positionals.len() > 1 {
+            usage_error(&format!("unexpected argument `{}`", positionals[1]));
+        }
+        None
     } else {
         if positionals.len() > 1 {
             usage_error(&format!("unexpected argument `{}`", positionals[1]));
@@ -216,6 +271,14 @@ fn parse_args() -> Args {
     if trace_dir.is_some() && experiment != "campaign" {
         usage_error("--trace-dir only applies to the campaign subcommand");
     }
+    if experiment != "bench" {
+        if baseline.is_some() {
+            usage_error("--baseline only applies to the bench subcommand");
+        }
+        if label.is_some() {
+            usage_error("--label only applies to the bench subcommand");
+        }
+    }
     Args {
         experiment,
         spec_path,
@@ -227,6 +290,9 @@ fn parse_args() -> Args {
         rerun,
         trace_dir,
         profile,
+        baseline,
+        label,
+        threshold,
     }
 }
 
@@ -243,7 +309,70 @@ fn emit_json(
     }
 }
 
+fn run_bench_command(args: &Args) -> ! {
+    let label = args
+        .label
+        .clone()
+        .unwrap_or_else(|| if args.quick { "quick" } else { "full" }.to_string());
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("bench-results"));
+    let mode = if args.quick { "quick" } else { "full" };
+    println!("bench: pinned suite, {mode} mode");
+    let report = vcabench_bench::run_bench(&label, args.quick, |r| {
+        println!(
+            "  {:<20} {:>8.3}s  {:>12} events  {:>12.0} events/s",
+            r.name, r.wall_secs, r.events_processed, r.events_per_sec
+        );
+    });
+    let path = report.write_to(&out_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot write bench artifact: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {}", path.display());
+    let Some(baseline_path) = &args.baseline else {
+        std::process::exit(0);
+    };
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("repro: cannot read {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline = vcabench_bench::BenchReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("repro: {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let cmp = vcabench_bench::compare(&report, &baseline, args.threshold);
+    println!(
+        "baseline {} ({} mode, threshold {:.2}x):",
+        baseline_path, baseline.mode, args.threshold
+    );
+    for line in &cmp.lines {
+        println!("  {line}");
+    }
+    for name in &cmp.unmatched {
+        println!("  {name:<20} only in one report (skipped)");
+    }
+    if !cmp.behavior_changes.is_empty() {
+        println!(
+            "warning: event counts changed for {} scenario(s) — the simulated \
+             workload differs from the baseline",
+            cmp.behavior_changes.len()
+        );
+    }
+    if cmp.passed() {
+        println!("bench gate: PASS");
+        std::process::exit(0);
+    }
+    println!("bench gate: FAIL ({} regression(s))", cmp.regressions.len());
+    std::process::exit(1);
+}
+
 fn run_campaign_command(args: &Args) -> ! {
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("campaign-results"));
     let path = args.spec_path.as_ref().expect("campaign has a spec path");
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("repro: cannot read {path}: {e}");
@@ -255,9 +384,9 @@ fn run_campaign_command(args: &Args) -> ! {
     });
     let summary = match &args.trace_dir {
         Some(trace_dir) => vcabench_harness::run_campaign_cached_traced(
-            &campaign, args.jobs, &args.out, args.rerun, trace_dir,
+            &campaign, args.jobs, &out, args.rerun, trace_dir,
         ),
-        None => vcabench_harness::run_campaign_cached(&campaign, args.jobs, &args.out, args.rerun),
+        None => vcabench_harness::run_campaign_cached(&campaign, args.jobs, &out, args.rerun),
     }
     .unwrap_or_else(|e| {
         eprintln!("repro: campaign `{}`: {e}", campaign.name);
@@ -322,6 +451,9 @@ fn main() {
     }
     if args.experiment == "campaign" {
         run_campaign_command(&args);
+    }
+    if args.experiment == "bench" {
+        run_bench_command(&args);
     }
     let mut json_out = args.json.as_ref().map(|_| serde_json::Map::new());
     let all = args.experiment == "all";

@@ -1,0 +1,255 @@
+//! Versioned `BENCH_<label>.json` artifacts and the baseline gate.
+//!
+//! A [`BenchReport`] is the machine-readable output of one `repro bench`
+//! run. The schema is versioned so CI artifacts from different engine
+//! versions stay distinguishable; [`compare`] implements the regression
+//! gate, matching scenarios by name and failing when wall time grows past a
+//! threshold ratio. Event-count mismatches are reported separately — they
+//! mean the *workload* changed, which is a correctness question for the
+//! golden-trace layer, not a performance regression.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "vcabench-bench/v1";
+
+/// Default wall-time regression threshold: fail when a scenario takes more
+/// than 2x the baseline (generous, so shared-runner noise doesn't flake).
+pub const DEFAULT_THRESHOLD: f64 = 2.0;
+
+/// Measured numbers for one pinned scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Pinned scenario name (the baseline join key).
+    pub name: String,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Simulated seconds covered.
+    pub sim_secs: f64,
+    /// Events the engine processed.
+    pub events_processed: u64,
+    /// Peak pending-event count observed.
+    pub peak_queue_depth: u64,
+    /// `events_processed / wall_secs`.
+    pub events_per_sec: f64,
+    /// `sim_secs / wall_secs` (simulated seconds per wall second).
+    pub sim_per_wall: f64,
+}
+
+/// One full benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Report label (the `<label>` in `BENCH_<label>.json`).
+    pub label: String,
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Per-scenario measurements, in pinned suite order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Assemble a report.
+    pub fn new(label: &str, quick: bool, scenarios: Vec<ScenarioResult>) -> Self {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            label: label.to_string(),
+            mode: if quick { "quick" } else { "full" }.to_string(),
+            scenarios,
+        }
+    }
+
+    /// The artifact filename for this report.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.label)
+    }
+
+    /// Pretty JSON form.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a report, rejecting unknown schema versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let report: BenchReport = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        if report.schema != SCHEMA {
+            return Err(format!(
+                "unsupported bench schema `{}` (expected `{SCHEMA}`)",
+                report.schema
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Write `BENCH_<label>.json` under `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.filename());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// One scenario whose wall time regressed past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scenario name.
+    pub name: String,
+    /// Baseline wall seconds.
+    pub base_wall_secs: f64,
+    /// Current wall seconds.
+    pub cur_wall_secs: f64,
+    /// `cur / base`.
+    pub ratio: f64,
+}
+
+/// Outcome of diffing a report against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Scenarios past the wall-time threshold (the gate: nonempty = fail).
+    pub regressions: Vec<Regression>,
+    /// Scenarios whose event counts differ from the baseline (a behavior
+    /// change, surfaced as a warning — the golden-trace tests own this).
+    pub behavior_changes: Vec<String>,
+    /// Scenario names present in only one of the two reports.
+    pub unmatched: Vec<String>,
+    /// Human-readable per-scenario lines, in current-report order.
+    pub lines: Vec<String>,
+}
+
+impl Comparison {
+    /// True when the regression gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diff `current` against `baseline` with the given wall-time ratio
+/// threshold (>= 1.0; see [`DEFAULT_THRESHOLD`]).
+pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    for cur in &current.scenarios {
+        let Some(base) = baseline.scenarios.iter().find(|b| b.name == cur.name) else {
+            cmp.unmatched.push(cur.name.clone());
+            continue;
+        };
+        let ratio = cur.wall_secs / base.wall_secs.max(1e-9);
+        let mut line = format!(
+            "{:<20} wall {:>8.3}s vs {:>8.3}s ({:>5.2}x)",
+            cur.name, cur.wall_secs, base.wall_secs, ratio
+        );
+        if cur.events_processed != base.events_processed {
+            cmp.behavior_changes.push(cur.name.clone());
+            line.push_str(&format!(
+                "  [events {} -> {}]",
+                base.events_processed, cur.events_processed
+            ));
+        }
+        if ratio > threshold {
+            cmp.regressions.push(Regression {
+                name: cur.name.clone(),
+                base_wall_secs: base.wall_secs,
+                cur_wall_secs: cur.wall_secs,
+                ratio,
+            });
+            line.push_str("  REGRESSION");
+        }
+        cmp.lines.push(line);
+    }
+    for base in &baseline.scenarios {
+        if !current.scenarios.iter().any(|c| c.name == base.name) {
+            cmp.unmatched.push(base.name.clone());
+        }
+    }
+    cmp
+}
+
+/// Render a report as an aligned text table.
+pub fn render_table(report: &BenchReport) -> String {
+    let mut out = format!(
+        "{:<20} {:>9} {:>12} {:>14} {:>10} {:>10}\n",
+        "scenario", "wall_s", "events", "events/s", "sim_s/s", "peak_q"
+    );
+    for r in &report.scenarios {
+        out.push_str(&format!(
+            "{:<20} {:>9.3} {:>12} {:>14.0} {:>10.1} {:>10}\n",
+            r.name,
+            r.wall_secs,
+            r.events_processed,
+            r.events_per_sec,
+            r.sim_per_wall,
+            r.peak_queue_depth
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, wall: f64, events: u64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            wall_secs: wall,
+            sim_secs: 15.0,
+            events_processed: events,
+            peak_queue_depth: 8,
+            events_per_sec: events as f64 / wall,
+            sim_per_wall: 15.0 / wall,
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = BenchReport::new("quick", true, vec![result("two_party_zoom", 0.25, 40_000)]);
+        assert_eq!(report.filename(), "BENCH_quick.json");
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let mut report = BenchReport::new("x", false, vec![]);
+        report.schema = "vcabench-bench/v999".to_string();
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("v999"), "{err}");
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_past_it() {
+        let base = BenchReport::new("base", true, vec![result("a", 1.0, 100)]);
+        let ok = BenchReport::new("cur", true, vec![result("a", 1.9, 100)]);
+        let cmp = compare(&ok, &base, 2.0);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert!(cmp.behavior_changes.is_empty());
+
+        let slow = BenchReport::new("cur", true, vec![result("a", 2.1, 100)]);
+        let cmp = compare(&slow, &base, 2.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].name, "a");
+        assert!(cmp.regressions[0].ratio > 2.0);
+    }
+
+    #[test]
+    fn event_count_mismatch_is_a_warning_not_a_failure() {
+        let base = BenchReport::new("base", true, vec![result("a", 1.0, 100)]);
+        let cur = BenchReport::new("cur", true, vec![result("a", 1.0, 150)]);
+        let cmp = compare(&cur, &base, 2.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.behavior_changes, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn unmatched_scenarios_are_surfaced_both_ways() {
+        let base = BenchReport::new("base", true, vec![result("a", 1.0, 1), result("b", 1.0, 1)]);
+        let cur = BenchReport::new("cur", true, vec![result("a", 1.0, 1), result("c", 1.0, 1)]);
+        let cmp = compare(&cur, &base, 2.0);
+        assert_eq!(cmp.unmatched, vec!["c".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Pinned benchmark scenarios.
+//!
+//! The benchmark surface is a fixed set of scenarios — two-party,
+//! competition, and multiparty, one of each per VCA kind — with pinned
+//! shaping profiles, durations, and seeds. Pinning matters twice over:
+//! wall-time numbers are only comparable across engine versions if the
+//! simulated workload is byte-identical, and the baseline gate (see
+//! [`crate::report`]) matches scenarios by name.
+
+use vcabench_campaign::{
+    CompetitionSpec, CompetitorSpec, MultipartySpec, ScenarioSpec, TwoPartySpec,
+};
+use vcabench_netsim::RateProfile;
+use vcabench_vca::VcaKind;
+
+/// One named benchmark workload: a campaign [`ScenarioSpec`] plus the
+/// simulated length it covers (used for the sim-seconds-per-wall-second
+/// figure of merit).
+#[derive(Debug, Clone)]
+pub struct BenchScenario {
+    /// Stable scenario name (`two_party_zoom`, `competition_meet`, …).
+    pub name: String,
+    /// The workload to run.
+    pub spec: ScenarioSpec,
+    /// Simulated seconds the run covers.
+    pub sim_secs: f64,
+}
+
+/// All three VCA kinds in pinned order.
+const KINDS: [VcaKind; 3] = [VcaKind::Zoom, VcaKind::Meet, VcaKind::Teams];
+
+/// The pinned benchmark suite. `quick` shrinks every duration (CI and
+/// smoke runs); the scenario *shapes* are identical in both modes.
+pub fn pinned(quick: bool) -> Vec<BenchScenario> {
+    let mut out = Vec::new();
+    for kind in KINDS {
+        let tag = vcabench_campaign::slug(kind.name());
+        let duration_secs = if quick { 15.0 } else { 60.0 };
+        out.push(BenchScenario {
+            name: format!("two_party_{tag}"),
+            spec: ScenarioSpec::TwoParty(TwoPartySpec {
+                kind,
+                up: RateProfile::constant_mbps(1000.0),
+                down: RateProfile::constant_mbps(1000.0),
+                duration_secs,
+                seed: 1,
+                knobs: None,
+            }),
+            sim_secs: duration_secs,
+        });
+    }
+    for kind in KINDS {
+        let tag = vcabench_campaign::slug(kind.name());
+        let (start, dur, total) = if quick {
+            (5.0, 10.0, 20.0)
+        } else {
+            (10.0, 40.0, 60.0)
+        };
+        out.push(BenchScenario {
+            name: format!("competition_{tag}"),
+            spec: ScenarioSpec::Competition(CompetitionSpec {
+                incumbent: kind,
+                competitor: CompetitorSpec::Vca(kind),
+                capacity_mbps: 2.5,
+                competitor_start_secs: Some(start),
+                competitor_duration_secs: Some(dur),
+                total_secs: Some(total),
+                seed: 1,
+            }),
+            sim_secs: total,
+        });
+    }
+    for kind in KINDS {
+        let tag = vcabench_campaign::slug(kind.name());
+        let duration_secs = if quick { 10.0 } else { 40.0 };
+        out.push(BenchScenario {
+            name: format!("multiparty_{tag}"),
+            spec: ScenarioSpec::Multiparty(MultipartySpec {
+                kind,
+                n: 4,
+                pin_c1: Some(false),
+                duration_secs,
+                seed: 1,
+            }),
+            sim_secs: duration_secs,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_pinned_and_valid() {
+        for quick in [false, true] {
+            let suite = pinned(quick);
+            assert_eq!(suite.len(), 9);
+            let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(
+                names,
+                [
+                    "two_party_zoom",
+                    "two_party_meet",
+                    "two_party_teams",
+                    "competition_zoom",
+                    "competition_meet",
+                    "competition_teams",
+                    "multiparty_zoom",
+                    "multiparty_meet",
+                    "multiparty_teams",
+                ]
+            );
+            for s in &suite {
+                s.spec.validate().expect("pinned spec valid");
+                assert!(s.sim_secs > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_mode_only_shrinks_durations() {
+        for (full, quick) in pinned(false).iter().zip(pinned(true).iter()) {
+            assert_eq!(full.name, quick.name);
+            assert_eq!(full.spec.seed(), quick.spec.seed());
+            assert!(quick.sim_secs < full.sim_secs);
+        }
+    }
+}

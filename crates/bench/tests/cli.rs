@@ -22,7 +22,15 @@ fn help_advertises_telemetry_surface() {
     let out = repro(&["--help"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for needle in ["--trace-dir", "validate-trace", "--profile", "campaign"] {
+    for needle in [
+        "--trace-dir",
+        "validate-trace",
+        "--profile",
+        "campaign",
+        "bench",
+        "--baseline",
+        "--threshold",
+    ] {
         assert!(text.contains(needle), "help missing `{needle}`:\n{text}");
     }
 }
@@ -39,6 +47,12 @@ fn malformed_invocations_exit_2() {
         &["no-such-experiment"],
         &["--jobs", "zero"],
         &["--jobs", "0"],
+        &["--baseline"],                     // missing value
+        &["table2", "--baseline", "/tmp/x"], // not the bench subcommand
+        &["table2", "--label", "x"],         // not the bench subcommand
+        &["--threshold", "0.5"],             // ratio must be >= 1.0
+        &["--threshold", "nan"],
+        &["bench", "extra-positional"],
     ];
     for args in cases {
         let out = repro(args);

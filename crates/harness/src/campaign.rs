@@ -19,9 +19,10 @@ use vcabench_telemetry::Telemetry;
 use vcabench_vca::VcaKind;
 
 use crate::run::{
-    run_competition_telemetry, run_multiparty_telemetry, run_two_party_telemetry,
-    CompetitionConfig, Competitor, TwoPartyOutcome, BIN,
+    run_competition_metered, run_multiparty_metered, run_two_party_metered, CompetitionConfig,
+    Competitor, TwoPartyOutcome, BIN,
 };
+use vcabench_netsim::EngineStats;
 
 /// Offset of the share-measurement window from the competitor's start
 /// (Fig 8/10 measure after a 3 s ramp).
@@ -59,11 +60,18 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioOutcome {
 /// Like [`run_spec`], recording trace events through `tel` (the traced
 /// campaign path; see [`crate::telemetry::run_spec_traced`]).
 pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutcome {
+    run_spec_metered(spec, tel).0
+}
+
+/// Like [`run_spec_telemetry`], additionally returning the engine's
+/// throughput counters — the measurement source of the `repro bench`
+/// harness (see `vcabench-bench`).
+pub fn run_spec_metered(spec: &ScenarioSpec, tel: &Telemetry) -> (ScenarioOutcome, EngineStats) {
     match spec.normalized() {
         ScenarioSpec::TwoParty(s) => {
             let duration = SimDuration::from_secs_f64(s.duration_secs);
             let knobs = s.knobs.clone();
-            let out = run_two_party_telemetry(
+            let (out, engine) = run_two_party_metered(
                 s.kind,
                 s.up.clone(),
                 s.down.clone(),
@@ -92,7 +100,7 @@ pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutco
                 }
                 None => (None, None),
             };
-            ScenarioOutcome::TwoParty(TwoPartyRecord {
+            let record = ScenarioOutcome::TwoParty(TwoPartyRecord {
                 steady_up_mbps: TwoPartyOutcome::median_between(
                     &out.up_series,
                     settle,
@@ -115,7 +123,8 @@ pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutco
                     .collect(),
                 up_series: samples(&out.up_series),
                 down_series: samples(&out.down_series),
-            })
+            });
+            (record, engine)
         }
         ScenarioSpec::Competition(s) => {
             let cfg = CompetitionConfig {
@@ -131,10 +140,10 @@ pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutco
                 total: SimDuration::from_secs_f64(s.total_secs.expect("normalized")),
                 seed: s.seed,
             };
-            let out = run_competition_telemetry(&cfg, tel);
+            let (out, engine) = run_competition_metered(&cfg, tel);
             let from = SimTime::ZERO + cfg.competitor_start + SHARE_WINDOW_DELAY;
             let to = from + SHARE_WINDOW_LEN;
-            ScenarioOutcome::Competition(CompetitionRecord {
+            let record = ScenarioOutcome::Competition(CompetitionRecord {
                 up_share: out.up_share(from, to),
                 down_share: out.down_share(from, to),
                 netflix_conns: out.netflix_conns as usize,
@@ -142,10 +151,11 @@ pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutco
                 inc_down: samples(&out.inc_down),
                 comp_up: samples(&out.comp_up),
                 comp_down: samples(&out.comp_down),
-            })
+            });
+            (record, engine)
         }
         ScenarioSpec::Multiparty(s) => {
-            let out = run_multiparty_telemetry(
+            let (out, engine) = run_multiparty_metered(
                 s.kind,
                 s.n,
                 s.pin_c1.expect("normalized"),
@@ -153,10 +163,11 @@ pub fn run_spec_telemetry(spec: &ScenarioSpec, tel: &Telemetry) -> ScenarioOutco
                 s.seed,
                 tel,
             );
-            ScenarioOutcome::Multiparty(MultipartyRecord {
+            let record = ScenarioOutcome::Multiparty(MultipartyRecord {
                 c1_up_mbps: out.c1_up_mbps,
                 c1_down_mbps: out.c1_down_mbps,
-            })
+            });
+            (record, engine)
         }
     }
 }

@@ -6,8 +6,9 @@
 //! substrate — workload, parameter sweep, statistics, and a text rendering
 //! of the same rows/series the paper reports.
 //!
-//! The `repro` binary drives everything:
-//! `cargo run --release -p vcabench-harness --bin repro -- all --quick`.
+//! The `repro` binary (in `vcabench-bench`, which sits above this crate)
+//! drives everything:
+//! `cargo run --release -p vcabench-bench --bin repro -- all --quick`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,10 +20,13 @@ pub mod render;
 pub mod run;
 pub mod telemetry;
 
-pub use campaign::{run_campaign, run_campaign_cached, run_spec, run_spec_telemetry};
+pub use campaign::{
+    run_campaign, run_campaign_cached, run_spec, run_spec_metered, run_spec_telemetry,
+};
 pub use profile::{profile_engine, profile_two_party, render_profile};
 pub use run::{
-    run_competition, run_multiparty, run_two_party, run_two_party_with, CompetitionConfig,
+    run_competition, run_competition_metered, run_multiparty, run_multiparty_metered,
+    run_two_party, run_two_party_metered, run_two_party_with, CompetitionConfig,
     CompetitionOutcome, Competitor, MultipartyOutcome, TwoPartyOutcome,
 };
 pub use telemetry::{run_campaign_cached_traced, run_spec_traced};

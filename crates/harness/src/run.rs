@@ -8,7 +8,7 @@
 use vcabench_apps::{
     AbrServer, NetflixClient, NetflixSample, TcpSenderAgent, TcpSinkAgent, YoutubeClient,
 };
-use vcabench_netsim::{topology, FlowId, Network, NodeId, RateProfile};
+use vcabench_netsim::{topology, EngineStats, FlowId, Network, NodeId, RateProfile};
 use vcabench_simcore::{SimDuration, SimRng, SimTime};
 use vcabench_stats::time_to_recovery;
 use vcabench_telemetry::Telemetry;
@@ -129,6 +129,20 @@ pub fn run_two_party_telemetry(
     tel: &Telemetry,
     configure: impl FnOnce(&mut VcaClient),
 ) -> TwoPartyOutcome {
+    run_two_party_metered(kind, up, down, duration, seed, tel, configure).0
+}
+
+/// Like [`run_two_party_telemetry`], additionally returning the engine's
+/// throughput counters (the `repro bench` harness reads these).
+pub fn run_two_party_metered(
+    kind: VcaKind,
+    up: RateProfile,
+    down: RateProfile,
+    duration: SimDuration,
+    seed: u64,
+    tel: &Telemetry,
+    configure: impl FnOnce(&mut VcaClient),
+) -> (TwoPartyOutcome, EngineStats) {
     let mut call = vcabench_vca::two_party_call(kind, up, down, seed);
     attach_telemetry(&mut call.net, tel, &call.handles.clients.clone());
     configure(call.net.agent_mut::<VcaClient>(call.topo.c1));
@@ -152,9 +166,10 @@ pub fn run_two_party_telemetry(
         .traces
         .total()
         .series_mbps(end);
+    let engine = call.net.engine_stats();
     let c1: &VcaClient = call.net.agent(call.topo.c1);
     let c2: &VcaClient = call.net.agent(call.topo.c2);
-    TwoPartyOutcome {
+    let outcome = TwoPartyOutcome {
         duration: end,
         up_series,
         down_series,
@@ -167,7 +182,8 @@ pub fn run_two_party_telemetry(
             .map(|f| f.freeze_time)
             .unwrap_or(SimDuration::ZERO),
         c1_frames_decoded: c1.frames_decoded_from(1),
-    }
+    };
+    (outcome, engine)
 }
 
 /// Which application competes with the incumbent VCA (§5).
@@ -275,6 +291,15 @@ pub fn run_competition(cfg: &CompetitionConfig) -> CompetitionOutcome {
 
 /// Like [`run_competition`], recording trace events through `tel`.
 pub fn run_competition_telemetry(cfg: &CompetitionConfig, tel: &Telemetry) -> CompetitionOutcome {
+    run_competition_metered(cfg, tel).0
+}
+
+/// Like [`run_competition_telemetry`], additionally returning the engine's
+/// throughput counters.
+pub fn run_competition_metered(
+    cfg: &CompetitionConfig,
+    tel: &Telemetry,
+) -> (CompetitionOutcome, EngineStats) {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut net: Network<Wire> = Network::new();
     let topo = topology::competition(
@@ -380,7 +405,7 @@ pub fn run_competition_telemetry(cfg: &CompetitionConfig, tel: &Telemetry) -> Co
     } else {
         (None, 0)
     };
-    CompetitionOutcome {
+    let outcome = CompetitionOutcome {
         duration: end,
         inc_up,
         inc_down,
@@ -388,7 +413,8 @@ pub fn run_competition_telemetry(cfg: &CompetitionConfig, tel: &Telemetry) -> Co
         comp_down,
         netflix,
         netflix_conns,
-    }
+    };
+    (outcome, net.engine_stats())
 }
 
 /// Outcome of a multiparty (§6) run.
@@ -421,6 +447,19 @@ pub fn run_multiparty_telemetry(
     seed: u64,
     tel: &Telemetry,
 ) -> MultipartyOutcome {
+    run_multiparty_metered(kind, n, pin_c1, duration, seed, tel).0
+}
+
+/// Like [`run_multiparty_telemetry`], additionally returning the engine's
+/// throughput counters.
+pub fn run_multiparty_metered(
+    kind: VcaKind,
+    n: usize,
+    pin_c1: bool,
+    duration: SimDuration,
+    seed: u64,
+    tel: &Telemetry,
+) -> (MultipartyOutcome, EngineStats) {
     let modes: Vec<ViewMode> = (0..n)
         .map(|i| {
             if pin_c1 && i != 0 {
@@ -447,10 +486,11 @@ pub fn run_multiparty_telemetry(
         .traces
         .total()
         .rate_mbps_between(settle, end);
-    MultipartyOutcome {
+    let outcome = MultipartyOutcome {
         c1_down_mbps: c1_down,
         c1_up_mbps: c1_up,
-    }
+    };
+    (outcome, call.net.engine_stats())
 }
 
 #[cfg(test)]

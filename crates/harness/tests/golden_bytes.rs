@@ -1,0 +1,90 @@
+//! Golden-trace byte identity for the optimized engine.
+//!
+//! Runs every scenario of `examples/specs/trace_smoke.json` through the
+//! traced campaign path and asserts the emitted `events.jsonl` bytes are
+//! identical to the fixture blessed on the pre-optimization engine. The
+//! raw traces are megabytes each, so the fixture pins a digest (the result
+//! store's double-FNV idiom) plus byte and line counts per run.
+//!
+//! Engine optimizations must never change a single simulated byte; if a
+//! deliberate behavior change lands, re-bless with:
+//!
+//! ```text
+//! VCABENCH_BLESS=1 cargo test -p vcabench-harness --test golden_bytes
+//! ```
+
+use std::path::PathBuf;
+
+use vcabench_campaign::CampaignSpec;
+use vcabench_harness::run_spec_traced;
+
+const FIXTURE: &str = "tests/golden/trace_smoke.digests.txt";
+
+fn fnv1a(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 128-bit digest in the style of the campaign result store.
+fn digest(bytes: &[u8]) -> String {
+    let h1 = fnv1a(0xcbf2_9ce4_8422_2325, bytes);
+    let h2 = fnv1a(0x6c62_272e_07bb_0142, bytes);
+    format!("{h1:016x}{h2:016x}")
+}
+
+fn manifest_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn trace_smoke_events_are_byte_identical_to_blessed_fixture() {
+    let spec_path = manifest_path("../../examples/specs/trace_smoke.json");
+    let text = std::fs::read_to_string(&spec_path).expect("read trace_smoke.json");
+    let campaign = CampaignSpec::from_json(&text).expect("parse trace_smoke.json");
+    let runs = campaign.expand().expect("expand trace_smoke.json");
+    assert!(!runs.is_empty(), "smoke campaign expands to runs");
+
+    let trace_dir = std::env::temp_dir().join(format!("vcabench-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&trace_dir).unwrap();
+
+    let mut lines = Vec::new();
+    for run in &runs {
+        run_spec_traced(&run.label, &run.spec, &trace_dir);
+        let path = trace_dir.join(format!("{}.events.jsonl", run.label));
+        let bytes = std::fs::read(&path).expect("trace artifact written");
+        let line_count = bytes.iter().filter(|&&b| b == b'\n').count();
+        lines.push(format!(
+            "{} {} {} {}",
+            run.label,
+            digest(&bytes),
+            bytes.len(),
+            line_count
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let mut current = lines.join("\n");
+    current.push('\n');
+
+    let fixture_path = manifest_path(FIXTURE);
+    if std::env::var("VCABENCH_BLESS").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(fixture_path.parent().unwrap()).unwrap();
+        std::fs::write(&fixture_path, &current).unwrap();
+        eprintln!("blessed {}", fixture_path.display());
+        return;
+    }
+    let blessed = std::fs::read_to_string(&fixture_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with VCABENCH_BLESS=1 to create it",
+            fixture_path.display()
+        )
+    });
+    assert_eq!(
+        current, blessed,
+        "events.jsonl bytes changed — the engine no longer simulates the same \
+         byte stream; if intentional, re-bless via VCABENCH_BLESS=1"
+    );
+}

@@ -21,7 +21,7 @@ pub mod topology;
 pub mod trace;
 
 pub use link::{EnqueueOutcome, Link, LinkConfig, LinkStats};
-pub use network::{Agent, Ctx, NetEvent, Network};
+pub use network::{Agent, Ctx, EngineStats, NetEvent, Network};
 pub use packet::{FlowId, LinkId, NodeId, Packet};
 pub use profile::RateProfile;
 pub use trace::{BinTrace, FlowTraces};

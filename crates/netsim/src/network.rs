@@ -9,7 +9,6 @@
 //! strict total order of effects.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use vcabench_simcore::{EventQueue, SimDuration, SimTime};
 use vcabench_telemetry::{EventKind, Profiler, Telemetry};
@@ -101,15 +100,34 @@ pub trait Agent<P>: 'static {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Engine throughput counters, maintained O(1) by the event loop.
+///
+/// These are *measurement* outputs (the `repro bench` harness reads them);
+/// they never feed back into simulation behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped and handled by [`Network::run_until`] so far.
+    pub events_processed: u64,
+    /// Peak number of simultaneously pending events in the queue.
+    pub peak_queue_depth: u64,
+}
+
 /// The simulated network.
 pub struct Network<P> {
     now: SimTime,
     started: bool,
     events: EventQueue<NetEvent<P>>,
+    /// Pending-event depth and lifetime event counters (see [`EngineStats`]).
+    pending_events: u64,
+    stats: EngineStats,
     links: Vec<Link<P>>,
-    routes: Vec<HashMap<NodeId, LinkId>>,
+    /// Per-node forwarding table, indexed by destination node id (node
+    /// counts are small, so a flat table beats hashing on every hop).
+    routes: Vec<Vec<Option<LinkId>>>,
     default_route: Vec<Option<LinkId>>,
     agents: Vec<Option<Box<dyn Agent<P>>>>,
+    /// Reused action buffer for agent dispatch (see [`Network::apply`]).
+    action_scratch: Vec<Action<P>>,
     next_pkt_id: u64,
     /// Packets discarded because no route existed (usually a wiring bug).
     pub unrouted_drops: u64,
@@ -138,10 +156,13 @@ impl<P: 'static> Network<P> {
             now: SimTime::ZERO,
             started: false,
             events: EventQueue::new(),
+            pending_events: 0,
+            stats: EngineStats::default(),
             links: Vec::new(),
             routes: Vec::new(),
             default_route: Vec::new(),
             agents: Vec::new(),
+            action_scratch: Vec::new(),
             next_pkt_id: 0,
             unrouted_drops: 0,
             telemetry: Telemetry::disabled(),
@@ -189,11 +210,25 @@ impl<P: 'static> Network<P> {
         self.now
     }
 
+    /// Engine throughput counters (events handled, peak queue depth).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Schedule an engine event, tracking pending depth for [`EngineStats`].
+    fn sched(&mut self, at: SimTime, ev: NetEvent<P>) {
+        self.pending_events += 1;
+        if self.pending_events > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = self.pending_events;
+        }
+        self.events.schedule(at, ev);
+    }
+
     /// Add a node with no agent (router/switch).
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.agents.len());
         self.agents.push(None);
-        self.routes.push(HashMap::new());
+        self.routes.push(Vec::new());
         self.default_route.push(None);
         id
     }
@@ -224,7 +259,13 @@ impl<P: 'static> Network<P> {
         self.links.push(Link::new(cfg, to));
         // A link is only useful if some route points at it; set a
         // destination-specific route for the far node by default.
-        self.routes[from.0].entry(to).or_insert(id);
+        let table = &mut self.routes[from.0];
+        if table.len() <= to.0 {
+            table.resize(to.0 + 1, None);
+        }
+        if table[to.0].is_none() {
+            table[to.0] = Some(id);
+        }
         id
     }
 
@@ -241,7 +282,11 @@ impl<P: 'static> Network<P> {
 
     /// Route packets at `node` destined to `dst` over `link`.
     pub fn route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
-        self.routes[node.0].insert(dst, link);
+        let table = &mut self.routes[node.0];
+        if table.len() <= dst.0 {
+            table.resize(dst.0 + 1, None);
+        }
+        table[dst.0] = Some(link);
     }
 
     /// Fallback route at `node` for any unmatched destination.
@@ -295,6 +340,8 @@ impl<P: 'static> Network<P> {
                 break;
             }
             let (at, ev) = self.events.pop().expect("peeked event");
+            self.pending_events -= 1;
+            self.stats.events_processed += 1;
             debug_assert!(at >= self.now, "time went backwards");
             #[cfg(feature = "testkit-checks")]
             {
@@ -335,7 +382,7 @@ impl<P: 'static> Network<P> {
             NetEvent::LinkReady(lid) => {
                 let (pkt, next_done) = self.links[lid.0].complete(self.now);
                 if let Some(done) = next_done {
-                    self.events.schedule(done, NetEvent::LinkReady(lid));
+                    self.sched(done, NetEvent::LinkReady(lid));
                 }
                 if self.telemetry.enabled() {
                     self.note_rate(lid);
@@ -352,7 +399,7 @@ impl<P: 'static> Network<P> {
                 }
                 let to = self.links[lid.0].to;
                 let arrive_at = self.now + self.links[lid.0].delay_for(pkt.id);
-                self.events.schedule(arrive_at, NetEvent::Arrive(to, pkt));
+                self.sched(arrive_at, NetEvent::Arrive(to, pkt));
             }
             NetEvent::Arrive(node, pkt) => {
                 if pkt.dst == node {
@@ -369,8 +416,9 @@ impl<P: 'static> Network<P> {
 
     fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
         let link = self.routes[node.0]
-            .get(&pkt.dst)
+            .get(pkt.dst.0)
             .copied()
+            .flatten()
             .or(self.default_route[node.0]);
         match link {
             Some(lid) => {
@@ -382,7 +430,7 @@ impl<P: 'static> Network<P> {
                 let (flow, id, bytes) = (pkt.flow.0, pkt.id, pkt.size as u64);
                 let outcome = self.links[lid.0].enqueue(self.now, pkt);
                 if let EnqueueOutcome::StartTx(done) = outcome {
-                    self.events.schedule(done, NetEvent::LinkReady(lid));
+                    self.sched(done, NetEvent::LinkReady(lid));
                 }
                 if enabled {
                     let l = &self.links[lid.0];
@@ -436,7 +484,7 @@ impl<P: 'static> Network<P> {
     }
 
     fn dispatch_start(&mut self, node: NodeId) {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.action_scratch);
         if let Some(mut agent) = self.agents[node.0].take() {
             let mut ctx = Ctx {
                 now: self.now,
@@ -447,11 +495,13 @@ impl<P: 'static> Network<P> {
             agent.start(&mut ctx);
             self.agents[node.0] = Some(agent);
         }
-        self.apply(actions);
+        self.apply(&mut actions);
+        // Hand the (now empty) buffer back for the next dispatch.
+        self.action_scratch = actions;
     }
 
     fn dispatch_packet(&mut self, node: NodeId, pkt: Packet<P>) {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.action_scratch);
         if let Some(mut agent) = self.agents[node.0].take() {
             let mut ctx = Ctx {
                 now: self.now,
@@ -462,11 +512,13 @@ impl<P: 'static> Network<P> {
             agent.on_packet(&mut ctx, pkt);
             self.agents[node.0] = Some(agent);
         }
-        self.apply(actions);
+        self.apply(&mut actions);
+        // Hand the (now empty) buffer back for the next dispatch.
+        self.action_scratch = actions;
     }
 
     fn dispatch_timer(&mut self, node: NodeId, id: u64) {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.action_scratch);
         if let Some(mut agent) = self.agents[node.0].take() {
             let mut ctx = Ctx {
                 now: self.now,
@@ -477,23 +529,27 @@ impl<P: 'static> Network<P> {
             agent.on_timer(&mut ctx, id);
             self.agents[node.0] = Some(agent);
         }
-        self.apply(actions);
+        self.apply(&mut actions);
+        // Hand the (now empty) buffer back for the next dispatch.
+        self.action_scratch = actions;
     }
 
-    fn apply(&mut self, actions: Vec<Action<P>>) {
-        for a in actions {
+    /// Drain and execute deferred actions. Never re-enters dispatch
+    /// (loopback sends go through the event queue), so the single
+    /// `action_scratch` buffer the dispatchers reuse is sufficient.
+    fn apply(&mut self, actions: &mut Vec<Action<P>>) {
+        for a in actions.drain(..) {
             match a {
                 Action::Send(pkt) => {
                     if pkt.dst == pkt.src {
                         // Loopback: deliver on the next event cycle.
-                        self.events
-                            .schedule(self.now, NetEvent::Arrive(pkt.dst, pkt));
+                        self.sched(self.now, NetEvent::Arrive(pkt.dst, pkt));
                     } else {
                         self.forward(pkt.src, pkt);
                     }
                 }
                 Action::Timer { node, at, id } => {
-                    self.events.schedule(at, NetEvent::Timer(node, id));
+                    self.sched(at, NetEvent::Timer(node, id));
                 }
             }
         }
@@ -856,6 +912,55 @@ mod tests {
         assert!(net.link(up).stats.total_dropped() > 0, "overload must drop");
         assert!(net.invariant_checks() > 1_000, "audits actually ran");
         net.assert_invariants();
+    }
+
+    /// The telemetry-disabled path must be free: a run with the default
+    /// disabled handle is event-for-event identical to one with a live
+    /// recorder (telemetry never perturbs simulation), and the disabled
+    /// handle reports `enabled() == false` so the engine's hot paths skip
+    /// all argument gathering (the recorder layer separately proves the
+    /// event closure is never even built).
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let run = |with_recorder: bool| {
+            let (mut net, src, _router, dst, up) = build_chain(2.0);
+            let log = if with_recorder {
+                let (tel, log) = vcabench_telemetry::Telemetry::with_log(
+                    vcabench_telemetry::EventLog::unbounded(),
+                );
+                net.set_telemetry(tel);
+                Some(log)
+            } else {
+                assert!(!net.telemetry().enabled(), "default handle is disabled");
+                None
+            };
+            net.set_agent(
+                src,
+                Box::new(Source {
+                    flow: FlowId(7),
+                    dst,
+                    count: 200,
+                    size: 1250,
+                    spacing: SimDuration::from_millis(1),
+                    sent: 0,
+                }),
+            );
+            net.run_until(SimTime::from_secs(1));
+            let events = log.map(|l| l.borrow().events().count()).unwrap_or(0);
+            (
+                net.engine_stats(),
+                net.link(up).stats.total_delivered(),
+                net.agent::<Sink>(dst).bytes,
+                events,
+            )
+        };
+        let (stats_off, delivered_off, bytes_off, events_off) = run(false);
+        let (stats_on, delivered_on, bytes_on, events_on) = run(true);
+        assert_eq!(stats_off, stats_on, "telemetry changed engine behavior");
+        assert_eq!(delivered_off, delivered_on);
+        assert_eq!(bytes_off, bytes_on);
+        assert_eq!(events_off, 0, "disabled handle must record nothing");
+        assert!(events_on > 0, "recorder saw the same run");
     }
 
     #[test]

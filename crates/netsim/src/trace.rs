@@ -5,8 +5,6 @@
 //! finish serialization on a link into fixed-width time bins and convert to
 //! Mbps series on demand.
 
-use std::collections::HashMap;
-
 use vcabench_simcore::{SimDuration, SimTime};
 
 use crate::packet::FlowId;
@@ -111,10 +109,18 @@ impl BinTrace {
 }
 
 /// Traces for every flow crossing a link, plus the aggregate.
+///
+/// A link carries a handful of flows, and packets arrive in trains, so the
+/// per-flow store is a sorted `Vec` with a last-hit cache: the common case
+/// (same flow as the previous packet) is one indexed compare, and misses
+/// binary-search instead of hashing.
 #[derive(Debug, Clone)]
 pub struct FlowTraces {
     bin: SimDuration,
-    per_flow: HashMap<FlowId, BinTrace>,
+    /// Per-flow traces, sorted by flow id.
+    per_flow: Vec<(FlowId, BinTrace)>,
+    /// Index of the flow the previous `record` hit.
+    last_hit: usize,
     total: BinTrace,
 }
 
@@ -128,23 +134,35 @@ impl FlowTraces {
     pub fn with_bin(bin: SimDuration) -> Self {
         FlowTraces {
             bin,
-            per_flow: HashMap::new(),
+            per_flow: Vec::new(),
+            last_hit: 0,
             total: BinTrace::new(bin),
         }
     }
 
     /// Record `bytes` of `flow` at `t`.
     pub fn record(&mut self, flow: FlowId, t: SimTime, bytes: usize) {
-        self.per_flow
-            .entry(flow)
-            .or_insert_with(|| BinTrace::new(self.bin))
-            .record(t, bytes);
+        let idx = match self.per_flow.get(self.last_hit) {
+            Some((f, _)) if *f == flow => self.last_hit,
+            _ => match self.per_flow.binary_search_by_key(&flow.0, |(f, _)| f.0) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.per_flow.insert(i, (flow, BinTrace::new(self.bin)));
+                    i
+                }
+            },
+        };
+        self.last_hit = idx;
+        self.per_flow[idx].1.record(t, bytes);
         self.total.record(t, bytes);
     }
 
     /// Trace of a single flow, if it ever sent.
     pub fn flow(&self, flow: FlowId) -> Option<&BinTrace> {
-        self.per_flow.get(&flow)
+        self.per_flow
+            .binary_search_by_key(&flow.0, |(f, _)| f.0)
+            .ok()
+            .map(|i| &self.per_flow[i].1)
     }
 
     /// Aggregate trace across all flows.
@@ -152,12 +170,10 @@ impl FlowTraces {
         &self.total
     }
 
-    /// All flows seen, in ascending id order (the backing map iterates in
-    /// arbitrary order, which must not leak to callers).
+    /// All flows seen, in ascending id order (the backing store is kept
+    /// sorted, so this is just a walk).
     pub fn flows(&self) -> impl Iterator<Item = FlowId> + '_ {
-        let mut ids: Vec<FlowId> = self.per_flow.keys().copied().collect();
-        ids.sort_unstable_by_key(|f| f.0);
-        ids.into_iter()
+        self.per_flow.iter().map(|(f, _)| *f)
     }
 
     /// Combined Mbps series of a set of flows (zero-padded to `until`).
@@ -165,7 +181,7 @@ impl FlowTraces {
         let n = until.as_micros().div_ceil(self.bin.as_micros()) as usize;
         let mut out = vec![0.0; n];
         for f in flows {
-            if let Some(tr) = self.per_flow.get(f) {
+            if let Some(tr) = self.flow(*f) {
                 for (i, v) in tr.series_mbps(until).iter().enumerate() {
                     if i < out.len() {
                         out[i] += v;
@@ -180,7 +196,7 @@ impl FlowTraces {
     pub fn combined_bytes_between(&self, flows: &[FlowId], from: SimTime, to: SimTime) -> u64 {
         flows
             .iter()
-            .filter_map(|f| self.per_flow.get(f))
+            .filter_map(|f| self.flow(*f))
             .map(|tr| tr.bytes_between(from, to))
             .sum()
     }

@@ -5,22 +5,46 @@
 //! the pop order is a total order that does not depend on heap internals —
 //! a prerequisite for reproducible simulations.
 //!
-//! Scheduled events can be cancelled by [`EventId`]; cancellation is lazy
-//! (tombstoned) and O(1).
+//! Scheduled events can be cancelled by [`EventId`]; cancellation is lazy.
+//! Each pending event owns a slot in a generation-counted slab, and the
+//! [`EventId`] packs `(generation, slot)`, so cancelling costs one indexed
+//! load (no hashing) and stale ids — cancel-after-pop, or an id whose slot
+//! has been reused — are rejected by the generation check. Cancelled heap
+//! entries are tombstones, dropped when they surface; the queue maintains
+//! the invariant that the heap top is never a tombstone, which is what lets
+//! [`EventQueue::peek_time`] take `&self`. A live-event counter makes
+//! [`EventQueue::len`] O(1).
 
 use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
+///
+/// Packs the slab slot and its generation; ids from popped or cancelled
+/// events go stale and can never affect a later event that reuses the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     payload: E,
 }
 
@@ -44,6 +68,14 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Per-slot bookkeeping. A slot is owned by exactly one heap entry from
+/// `schedule` until that entry leaves the heap (pop or tombstone drain);
+/// only then is the slot recycled, with a bumped generation.
+struct Slot {
+    gen: u32,
+    cancelled: bool,
+}
+
 /// A time-ordered queue of events with stable tie-breaking and cancellation.
 ///
 /// ```
@@ -53,14 +85,17 @@ impl<E> Ord for Scheduled<E> {
 /// q.schedule(SimTime::from_secs(2), "second");
 /// let early = q.schedule(SimTime::from_secs(1), "first");
 /// q.cancel(early);
+/// assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "second")));
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    /// seq -> cancelled flag for still-pending events.
-    live: HashMap<u64, bool>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Pending non-cancelled events.
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,7 +110,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
         }
     }
 
@@ -83,55 +120,87 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq, false);
-        self.heap.push(Scheduled { at, seq, payload });
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].cancelled = false;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slot count fits u32");
+                self.slots.push(Slot {
+                    gen: 0,
+                    cancelled: false,
+                });
+                slot
+            }
+        };
+        self.live += 1;
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            slot,
+            payload,
+        });
+        EventId::new(slot, gen)
     }
 
     /// Cancel a pending event. Returns true if the event was still pending.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        match self.live.entry(id.0) {
-            Entry::Occupied(mut e) => {
-                let was_cancelled = *e.get();
-                *e.get_mut() = true;
-                !was_cancelled
-            }
-            Entry::Vacant(_) => false,
+        let Some(slot) = self.slots.get_mut(id.slot()) else {
+            return false;
+        };
+        if slot.gen != id.gen() || slot.cancelled {
+            return false;
         }
+        slot.cancelled = true;
+        self.live -= 1;
+        self.drain_tombstones();
+        true
     }
 
     /// Time of the next (non-cancelled) event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // The heap top is never a tombstone (see `drain_tombstones`).
         self.heap.peek().map(|s| s.at)
     }
 
     /// Remove and return the next event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
         let s = self.heap.pop()?;
-        self.live.remove(&s.seq);
+        self.release(s.slot);
+        self.live -= 1;
+        self.drain_tombstones();
         Some((s.at, s.payload))
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.values().filter(|&&c| !c).count()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live.values().all(|&c| c)
+        self.live == 0
     }
 
-    fn skip_cancelled(&mut self) {
+    /// Recycle a slot whose heap entry was just removed.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Restore the invariant that the heap top is live: drop cancelled
+    /// entries until a live one (or nothing) is on top. Amortized O(1) —
+    /// every drained entry was pushed exactly once.
+    fn drain_tombstones(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.live.get(&top.seq).copied().unwrap_or(true) {
-                let s = self.heap.pop().expect("peeked");
-                self.live.remove(&s.seq);
-            } else {
+            if !self.slots[top.slot as usize].cancelled {
                 break;
             }
+            let s = self.heap.pop().expect("peeked");
+            self.release(s.slot);
         }
     }
 }
@@ -202,5 +271,52 @@ mod tests {
         q.schedule(base, 3);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn peek_then_pop_agree() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(3), "c");
+        q.cancel(a);
+        while let Some(t) = q.peek_time() {
+            let (popped_t, _) = q.pop().expect("peek saw an event");
+            assert_eq!(popped_t, t, "peek_time and pop must agree");
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_a_reused_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        // "b" reuses a's slot with a bumped generation.
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        assert!(!q.cancel(a), "stale id must not cancel the new occupant");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_cancellations_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_secs(i), i))
+            .collect();
+        assert_eq!(q.len(), 10);
+        for id in &ids[..5] {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 5);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 5);
+        assert!(q.is_empty());
     }
 }

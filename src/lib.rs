@@ -48,9 +48,10 @@
 //! | [`stats`] | medians/CIs, time-to-recovery, link shares |
 //! | [`campaign`] | declarative scenario specs, parallel executor, result cache |
 //! | [`telemetry`] | deterministic event tracing, metrics, trace export, profiler |
-//! | [`harness`] | one module per paper table/figure + the `repro` binary |
+//! | [`harness`] | one module per paper table/figure |
+//! | `bench` | pinned engine benchmarks, the perf gate, and the `repro` binary |
 //!
-//! Reproduce everything: `cargo run --release -p vcabench-harness --bin repro -- all`.
+//! Reproduce everything: `cargo run --release -p vcabench-bench --bin repro -- all`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
