@@ -5,6 +5,8 @@
 //! repro <experiment> [--quick] [--json <path>] [--jobs <n>]
 //! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]
 //! repro bench [--quick] [--baseline <file>] [--out <dir>] [--label <name>] [--threshold <x>]
+//! repro infer [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] [--fit <model.json>]
+//!             [--max-bitrate-err <x>] [--min-freeze-recall <x>]
 //! repro validate-trace <file.jsonl>...
 //! repro --profile [--quick]
 //! ```
@@ -19,6 +21,9 @@
 //! `bench` runs the pinned engine benchmark suite, writes a versioned
 //! `BENCH_<label>.json` artifact, and (with `--baseline`) exits nonzero if
 //! any scenario's wall time regresses past the threshold;
+//! `infer` runs the passive-QoE-inference validation harness over the
+//! pinned suite (or a campaign spec's expanded runs) and exits nonzero if
+//! the calibrated estimator's accuracy regresses past the gates;
 //! `--profile` prints a wall-clock profile of the simulation engine.
 
 use std::io::Write;
@@ -79,6 +84,11 @@ fn print_help() {
         "       repro bench [--quick] [--baseline <file>] [--out <dir>] [--label <name>] \
          [--threshold <x>]"
     );
+    println!(
+        "       repro infer [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] \
+         [--fit <model.json>]"
+    );
+    println!("                   [--max-bitrate-err <x>] [--min-freeze-recall <x>]");
     println!("       repro validate-trace <file.jsonl>...");
     println!("       repro --profile [--quick]");
     println!();
@@ -95,6 +105,12 @@ fn print_help() {
     println!("                        a schema-versioned BENCH_<label>.json artifact;");
     println!("                        with --baseline, diff against a prior artifact");
     println!("                        and exit 1 past the wall-time threshold");
+    println!("  infer [<campaign.json>]");
+    println!("                        run the passive-QoE-inference validation harness:");
+    println!("                        every scenario runs with packet taps attached and");
+    println!("                        the estimates are scored against the stats-API");
+    println!("                        ground truth; exit 1 if the calibrated estimator");
+    println!("                        misses the accuracy gates");
     println!("  validate-trace <file.jsonl>...");
     println!("                        validate JSONL event traces against the");
     println!("                        telemetry schema (exit 1 on any violation)");
@@ -118,6 +134,19 @@ fn print_help() {
     );
     println!("  --trace-dir <dir>  (campaign only) write per-run telemetry artifacts");
     println!("                     (<label>.events.jsonl / .series.csv / .manifest.json)");
+    println!("  --fit <model.json> (infer only) fit a fresh calibration model from the");
+    println!("                     joined windows, write it to <model.json>, and score");
+    println!("                     with it instead of the built-in model");
+    println!(
+        "  --max-bitrate-err <x>   (infer only) gate: max pooled median relative \
+         bitrate error (default {:.2})",
+        vcabench_harness::infer::DEFAULT_MAX_BITRATE_ERR
+    );
+    println!(
+        "  --min-freeze-recall <x> (infer only) gate: min freeze recall \
+         (default {:.1})",
+        vcabench_harness::infer::DEFAULT_MIN_FREEZE_RECALL
+    );
     println!("  --profile          profile the simulation engine on a fixed two-party");
     println!("                     workload and print where wall-clock time goes");
 }
@@ -136,6 +165,9 @@ struct Args {
     baseline: Option<String>,
     label: Option<String>,
     threshold: f64,
+    fit: Option<String>,
+    max_bitrate_err: Option<f64>,
+    min_freeze_recall: Option<f64>,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -156,6 +188,9 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut label = None;
     let mut threshold = vcabench_bench::DEFAULT_THRESHOLD;
+    let mut fit = None;
+    let mut max_bitrate_err = None;
+    let mut min_freeze_recall = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -200,6 +235,36 @@ fn parse_args() -> Args {
                 if !(threshold >= 1.0 && threshold.is_finite()) {
                     usage_error("--threshold must be a finite ratio >= 1.0");
                 }
+            }
+            "--fit" => {
+                fit = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--fit requires a path argument")),
+                );
+            }
+            "--max-bitrate-err" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--max-bitrate-err requires a number argument"));
+                let x: f64 = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--max-bitrate-err expects a number, got `{v}`"))
+                });
+                if !(x > 0.0 && x.is_finite()) {
+                    usage_error("--max-bitrate-err must be a finite ratio > 0");
+                }
+                max_bitrate_err = Some(x);
+            }
+            "--min-freeze-recall" => {
+                let v = it.next().unwrap_or_else(|| {
+                    usage_error("--min-freeze-recall requires a number argument")
+                });
+                let x: f64 = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--min-freeze-recall expects a number, got `{v}`"))
+                });
+                if !(0.0..=1.0).contains(&x) {
+                    usage_error("--min-freeze-recall must be within [0, 1]");
+                }
+                min_freeze_recall = Some(x);
             }
             "--jobs" => {
                 let v = it
@@ -254,6 +319,12 @@ fn parse_args() -> Args {
         None
     } else if experiment == "profile" {
         None
+    } else if experiment == "infer" {
+        match positionals.len() {
+            1 => None,
+            2 => Some(positionals[1].clone()),
+            _ => usage_error(&format!("unexpected argument `{}`", positionals[2])),
+        }
     } else if experiment == "bench" {
         if positionals.len() > 1 {
             usage_error(&format!("unexpected argument `{}`", positionals[1]));
@@ -279,6 +350,17 @@ fn parse_args() -> Args {
             usage_error("--label only applies to the bench subcommand");
         }
     }
+    if experiment != "infer" {
+        if fit.is_some() {
+            usage_error("--fit only applies to the infer subcommand");
+        }
+        if max_bitrate_err.is_some() {
+            usage_error("--max-bitrate-err only applies to the infer subcommand");
+        }
+        if min_freeze_recall.is_some() {
+            usage_error("--min-freeze-recall only applies to the infer subcommand");
+        }
+    }
     Args {
         experiment,
         spec_path,
@@ -293,6 +375,9 @@ fn parse_args() -> Args {
         baseline,
         label,
         threshold,
+        fit,
+        max_bitrate_err,
+        min_freeze_recall,
     }
 }
 
@@ -409,6 +494,107 @@ fn run_campaign_command(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+fn run_infer_command(args: &Args) -> ! {
+    use vcabench_harness::infer::{DEFAULT_MAX_BITRATE_ERR, DEFAULT_MIN_FREEZE_RECALL};
+    // Scenario list: a campaign spec's expanded runs, or the pinned
+    // benchmark suite (every scenario, inference-stage one included —
+    // it is just another shaped two-party workload here).
+    let scenarios: Vec<(String, vcabench_campaign::ScenarioSpec)> = match &args.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("repro: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let campaign = CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("repro: {path}: {e}");
+                std::process::exit(1);
+            });
+            let runs = campaign.expand().unwrap_or_else(|e| {
+                eprintln!("repro: campaign `{}`: {e}", campaign.name);
+                std::process::exit(1);
+            });
+            println!(
+                "infer: campaign `{}`, {} runs, {} job(s)",
+                campaign.name,
+                runs.len(),
+                args.jobs
+            );
+            runs.into_iter().map(|r| (r.label, r.spec)).collect()
+        }
+        None => {
+            let suite = vcabench_bench::scenario::pinned(args.quick);
+            println!(
+                "infer: pinned suite ({} scenarios, {} mode), {} job(s)",
+                suite.len(),
+                if args.quick { "quick" } else { "full" },
+                args.jobs
+            );
+            suite.into_iter().map(|s| (s.name, s.spec)).collect()
+        }
+    };
+    let rows = vcabench_harness::infer_suite(&scenarios, args.jobs);
+    let model = match &args.fit {
+        Some(path) => {
+            let all: Vec<vcabench_harness::WindowRow> = rows.iter().flatten().cloned().collect();
+            let model = vcabench_harness::fit_model(&all).unwrap_or_else(|| {
+                eprintln!("repro: model fit failed (degenerate design matrix)");
+                std::process::exit(1);
+            });
+            std::fs::write(path, model.to_json()).unwrap_or_else(|e| {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("fitted calibration model -> {path}");
+            model
+        }
+        None => vcabench_infer::LinearModel::builtin(),
+    };
+    let report = vcabench_harness::build_report(&rows, &model);
+    print!("{}", vcabench_harness::render_infer_report(&report));
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("infer-results"));
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    });
+    let artifact = out_dir.join("INFER_report.json");
+    std::fs::write(&artifact, vcabench_harness::infer_report_json(&report)).unwrap_or_else(|e| {
+        eprintln!("repro: cannot write {}: {e}", artifact.display());
+        std::process::exit(1);
+    });
+    println!("wrote {}", artifact.display());
+    // Accuracy gates apply to the calibrated estimator.
+    let calibrated = report
+        .estimators
+        .iter()
+        .find(|e| e.estimator == "calibrated")
+        .expect("report scores the calibrated estimator");
+    let max_err = args.max_bitrate_err.unwrap_or(DEFAULT_MAX_BITRATE_ERR);
+    let min_recall = args.min_freeze_recall.unwrap_or(DEFAULT_MIN_FREEZE_RECALL);
+    let err = calibrated.bitrate.median_rel_err;
+    let recall = calibrated.freeze.recall;
+    let err_ok = err <= max_err;
+    let recall_ok = recall >= min_recall;
+    println!(
+        "gate: median bitrate error {:.1}% (max {:.1}%) {}",
+        err * 100.0,
+        max_err * 100.0,
+        if err_ok { "OK" } else { "FAIL" }
+    );
+    println!(
+        "gate: freeze recall {recall:.2} (min {min_recall:.2}) {}",
+        if recall_ok { "OK" } else { "FAIL" }
+    );
+    if err_ok && recall_ok {
+        println!("infer gate: PASS");
+        std::process::exit(0);
+    }
+    println!("infer gate: FAIL");
+    std::process::exit(1);
+}
+
 fn run_validate_trace_command(args: &Args) -> ! {
     let mut failed = false;
     for path in &args.trace_paths {
@@ -454,6 +640,9 @@ fn main() {
     }
     if args.experiment == "bench" {
         run_bench_command(&args);
+    }
+    if args.experiment == "infer" {
+        run_infer_command(&args);
     }
     let mut json_out = args.json.as_ref().map(|_| serde_json::Map::new());
     let all = args.experiment == "all";

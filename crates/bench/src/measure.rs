@@ -8,18 +8,22 @@
 
 use std::time::Instant;
 
-use vcabench_harness::run_spec_metered;
+use vcabench_harness::{run_spec_infer_metered, run_spec_metered};
 use vcabench_netsim::EngineStats;
 use vcabench_telemetry::Telemetry;
 
 use crate::report::ScenarioResult;
 use crate::scenario::BenchScenario;
 
-/// Run one scenario and time it.
+/// Run one scenario and time it. Inference-stage scenarios run through
+/// [`run_spec_infer_metered`] instead, with the passive tap bank attached.
 pub fn measure(sc: &BenchScenario) -> ScenarioResult {
-    let tel = Telemetry::disabled();
     let t0 = Instant::now();
-    let (_outcome, engine) = run_spec_metered(&sc.spec, &tel);
+    let engine = if sc.infer {
+        run_spec_infer_metered(&sc.spec).1
+    } else {
+        run_spec_metered(&sc.spec, &Telemetry::disabled()).1
+    };
     let wall_secs = t0.elapsed().as_secs_f64();
     from_parts(sc, engine, wall_secs)
 }

@@ -24,6 +24,10 @@ pub struct BenchScenario {
     pub spec: ScenarioSpec,
     /// Simulated seconds the run covers.
     pub sim_secs: f64,
+    /// Run with the passive-inference extractors attached (the
+    /// `vcabench-infer` tap bank); measures the streaming-extraction
+    /// overhead on top of the plain engine hot path.
+    pub infer: bool,
 }
 
 /// All three VCA kinds in pinned order.
@@ -47,6 +51,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
                 knobs: None,
             }),
             sim_secs: duration_secs,
+            infer: false,
         });
     }
     for kind in KINDS {
@@ -68,6 +73,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
                 seed: 1,
             }),
             sim_secs: total,
+            infer: false,
         });
     }
     for kind in KINDS {
@@ -83,8 +89,26 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
                 seed: 1,
             }),
             sim_secs: duration_secs,
+            infer: false,
         });
     }
+    // The inference-stage scenario: a shaped two-party Zoom call (FEC-heavy
+    // and freeze-prone) run with the passive tap bank attached, so the
+    // benchmark gate tracks the extractors' hot-path overhead too.
+    let duration_secs = if quick { 10.0 } else { 30.0 };
+    out.push(BenchScenario {
+        name: "infer_two_party_zoom".to_string(),
+        spec: ScenarioSpec::TwoParty(TwoPartySpec {
+            kind: VcaKind::Zoom,
+            up: RateProfile::constant_mbps(0.5),
+            down: RateProfile::constant_mbps(1000.0),
+            duration_secs,
+            seed: 1,
+            knobs: None,
+        }),
+        sim_secs: duration_secs,
+        infer: true,
+    });
     out
 }
 
@@ -96,7 +120,7 @@ mod tests {
     fn suite_is_pinned_and_valid() {
         for quick in [false, true] {
             let suite = pinned(quick);
-            assert_eq!(suite.len(), 9);
+            assert_eq!(suite.len(), 10);
             let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
             assert_eq!(
                 names,
@@ -110,12 +134,20 @@ mod tests {
                     "multiparty_zoom",
                     "multiparty_meet",
                     "multiparty_teams",
+                    "infer_two_party_zoom",
                 ]
             );
             for s in &suite {
                 s.spec.validate().expect("pinned spec valid");
                 assert!(s.sim_secs > 0.0);
             }
+            // Exactly one scenario exercises the inference stage.
+            let infer: Vec<&str> = suite
+                .iter()
+                .filter(|s| s.infer)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(infer, ["infer_two_party_zoom"]);
         }
     }
 

@@ -30,6 +30,10 @@ fn help_advertises_telemetry_surface() {
         "bench",
         "--baseline",
         "--threshold",
+        "infer",
+        "--fit",
+        "--max-bitrate-err",
+        "--min-freeze-recall",
     ] {
         assert!(text.contains(needle), "help missing `{needle}`:\n{text}");
     }
@@ -53,6 +57,19 @@ fn malformed_invocations_exit_2() {
         &["--threshold", "0.5"],             // ratio must be >= 1.0
         &["--threshold", "nan"],
         &["bench", "extra-positional"],
+        &["infer", "--no-such-flag"],         // unknown flag
+        &["infer", "a.json", "b.json"],       // at most one spec file
+        &["infer", "--fit"],                  // missing value
+        &["infer", "--max-bitrate-err"],      // missing value
+        &["infer", "--max-bitrate-err", "0"], // must be > 0
+        &["infer", "--max-bitrate-err", "nan"],
+        &["infer", "--min-freeze-recall", "1.5"], // must be in [0, 1]
+        &["infer", "--min-freeze-recall", "-0.1"],
+        &["bench", "--fit", "/tmp/x"], // not the infer subcommand
+        &["table2", "--max-bitrate-err", "0.1"], // not the infer subcommand
+        &["campaign", "x.json", "--min-freeze-recall", "0.8"], // ditto
+        &["infer", "--baseline", "/tmp/x"], // bench-only flag on infer
+        &["infer", "--trace-dir", "/tmp/x"], // campaign-only flag on infer
     ];
     for args in cases {
         let out = repro(args);

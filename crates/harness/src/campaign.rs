@@ -51,6 +51,22 @@ fn disruption_window(profile: &RateProfile) -> Option<(SimTime, SimTime)> {
     Some((steps[drop].0, recover.0))
 }
 
+/// Apply a spec's optional client knobs to C1 (shared between the
+/// campaign runner and the passive-inference runner in [`crate::infer`]).
+pub(crate) fn apply_knobs(
+    knobs: Option<&vcabench_campaign::ClientKnobs>,
+    c1: &mut vcabench_vca::VcaClient,
+) {
+    if let Some(knobs) = knobs {
+        if let Some(enable) = knobs.teams_width_bug {
+            c1.set_teams_width_bug(enable);
+        }
+        if let (Some(min), Some(max)) = (knobs.min_rate_mbps, knobs.max_rate_mbps) {
+            c1.set_rate_bounds(min, max);
+        }
+    }
+}
+
 /// Execute one concrete scenario. Pure in the spec: equal specs produce
 /// equal outcomes (the determinism the result cache relies on).
 pub fn run_spec(spec: &ScenarioSpec) -> ScenarioOutcome {
@@ -78,16 +94,7 @@ pub fn run_spec_metered(spec: &ScenarioSpec, tel: &Telemetry) -> (ScenarioOutcom
                 duration,
                 s.seed,
                 tel,
-                |c1| {
-                    if let Some(knobs) = &knobs {
-                        if let Some(enable) = knobs.teams_width_bug {
-                            c1.set_teams_width_bug(enable);
-                        }
-                        if let (Some(min), Some(max)) = (knobs.min_rate_mbps, knobs.max_rate_mbps) {
-                            c1.set_rate_bounds(min, max);
-                        }
-                    }
-                },
+                |c1| apply_knobs(knobs.as_ref(), c1),
             );
             let settle = SimTime::ZERO + duration / 4;
             let (ttr_secs, nominal_mbps) = match disruption_window(&s.up)

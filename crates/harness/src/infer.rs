@@ -1,0 +1,729 @@
+//! Passive-inference validation: run scenarios with taps attached, join
+//! the estimates against ground-truth stats, score the estimators.
+//!
+//! This is the harness half of `vcabench-infer` (see that crate for the
+//! extraction and estimation layers). For every scenario it places two
+//! passive observers on C1's path — a *send* tap before the first queue
+//! C1's uplink traffic enters, and a *recv* tap after the last queue its
+//! downlink traffic leaves — runs the simulation once with the streaming
+//! extractors attached, and joins the per-second window features against
+//! the client's own `stats_api` samples:
+//!
+//! | estimate (passive)            | ground truth (stats API)          |
+//! |-------------------------------|-----------------------------------|
+//! | send-tap video payload rate   | `send_media_bytes` per-second Δ   |
+//! | recv-tap video payload rate   | `recv_media_bytes` per-second Δ   |
+//! | recv-tap decodable frames     | `frames_decoded` per-second Δ     |
+//! | recv-tap freeze replica       | `freeze_count`/`freeze_time` Δ    |
+//!
+//! Everything here is a pure function of the specs, so the produced
+//! report is byte-identical for any `--jobs` value — [`infer_suite`]
+//! parallelizes across scenarios with the campaign executor and
+//! reassembles results in input order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vcabench_campaign::{run_indexed, ScenarioSpec};
+use vcabench_infer::{
+    feature_vector, Estimator, HeuristicEstimator, LinearModel, TapBank, TapSpec, Vantage,
+    WindowFeatures, NUM_FEATURES,
+};
+use vcabench_netsim::EngineStats;
+use vcabench_simcore::{SimDuration, SimTime};
+use vcabench_telemetry::Telemetry;
+use vcabench_vca::{StatsCollector, StatsSample};
+
+use crate::campaign::apply_knobs;
+use crate::run::{
+    run_competition_metered, run_multiparty_metered, run_two_party_metered, CompetitionConfig,
+};
+
+/// Default gate: maximum pooled median relative bitrate error.
+pub const DEFAULT_MAX_BITRATE_ERR: f64 = 0.10;
+/// Default gate: minimum freeze recall.
+pub const DEFAULT_MIN_FREEZE_RECALL: f64 = 0.8;
+
+/// The two observation points used to validate a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioTaps {
+    /// Pre-queue observer of C1's uplink media flow.
+    pub send: TapSpec,
+    /// Post-queue observer of C1's downlink media flow.
+    pub recv: TapSpec,
+}
+
+/// Tap placement for a scenario. Link and flow indices are topology
+/// constants: every topology builder creates C1's access links first
+/// (uplink 0, downlink 1) and `wire_call` numbers C1's flows from base
+/// 10 (up 10, down 11). The competition topology instead taps the shared
+/// bottleneck (links 4/5), where the incumbent's traffic actually
+/// contends — C1's access links there are unconstrained. A test below
+/// pins these constants against the real topology builders.
+pub fn taps_for(spec: &ScenarioSpec) -> ScenarioTaps {
+    let (up_link, down_link) = match spec {
+        ScenarioSpec::Competition(_) => (4, 5),
+        ScenarioSpec::TwoParty(_) | ScenarioSpec::Multiparty(_) => (0, 1),
+    };
+    ScenarioTaps {
+        send: TapSpec {
+            link: up_link,
+            flow: 10,
+            vantage: Vantage::Send,
+        },
+        recv: TapSpec {
+            link: down_link,
+            flow: 11,
+            vantage: Vantage::Recv,
+        },
+    }
+}
+
+/// One scenario's inference run: extracted windows plus ground truth.
+#[derive(Debug, Clone)]
+pub struct InferOutcome {
+    /// Send-tap windows.
+    pub send: Vec<WindowFeatures>,
+    /// Recv-tap windows.
+    pub recv: Vec<WindowFeatures>,
+    /// C1's per-second ground-truth samples.
+    pub stats: Vec<StatsSample>,
+    /// Simulated end time.
+    pub duration: SimTime,
+}
+
+/// Run one scenario with the two extractors attached (streaming, online —
+/// no event log is kept).
+pub fn run_spec_infer(spec: &ScenarioSpec) -> InferOutcome {
+    run_spec_infer_metered(spec).0
+}
+
+/// Like [`run_spec_infer`], additionally returning the engine's counters
+/// (the `repro bench` inference-stage scenario reads these).
+pub fn run_spec_infer_metered(spec: &ScenarioSpec) -> (InferOutcome, EngineStats) {
+    let taps = taps_for(spec);
+    let bank = Rc::new(RefCell::new(TapBank::new(&[taps.send, taps.recv])));
+    let tel = Telemetry::attach(bank.clone());
+    let (stats, duration, engine) = match spec.normalized() {
+        ScenarioSpec::TwoParty(s) => {
+            let duration = SimDuration::from_secs_f64(s.duration_secs);
+            let knobs = s.knobs.clone();
+            let (out, engine) = run_two_party_metered(
+                s.kind,
+                s.up.clone(),
+                s.down.clone(),
+                duration,
+                s.seed,
+                &tel,
+                |c1| apply_knobs(knobs.as_ref(), c1),
+            );
+            (out.c1_stats, out.duration, engine)
+        }
+        ScenarioSpec::Competition(s) => {
+            let cfg = CompetitionConfig {
+                incumbent: s.incumbent,
+                competitor: crate::campaign::competitor_from_spec(s.competitor),
+                capacity_mbps: s.capacity_mbps,
+                competitor_start: SimDuration::from_secs_f64(
+                    s.competitor_start_secs.expect("normalized"),
+                ),
+                competitor_duration: SimDuration::from_secs_f64(
+                    s.competitor_duration_secs.expect("normalized"),
+                ),
+                total: SimDuration::from_secs_f64(s.total_secs.expect("normalized")),
+                seed: s.seed,
+            };
+            let (out, engine) = run_competition_metered(&cfg, &tel);
+            (out.c1_stats, out.duration, engine)
+        }
+        ScenarioSpec::Multiparty(s) => {
+            let duration = SimDuration::from_secs_f64(s.duration_secs);
+            let (out, engine) = run_multiparty_metered(
+                s.kind,
+                s.n,
+                s.pin_c1.expect("normalized"),
+                duration,
+                s.seed,
+                &tel,
+            );
+            (out.c1_stats, SimTime::ZERO + duration, engine)
+        }
+    };
+    drop(tel);
+    let bank = Rc::try_unwrap(bank)
+        .expect("run finished; the extractor bank has a sole owner")
+        .into_inner();
+    let mut windows = bank.finish(duration);
+    let recv = windows.pop().expect("recv tap");
+    let send = windows.pop().expect("send tap");
+    (
+        InferOutcome {
+            send,
+            recv,
+            stats,
+            duration,
+        },
+        engine,
+    )
+}
+
+/// One joined window: passive features plus the ground truth the
+/// estimates are scored against (`None` where no stats sample brackets
+/// the window — e.g. before the first per-second sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Scenario name the window came from.
+    pub scenario: String,
+    /// Window index (seconds).
+    pub window: u64,
+    /// Send-tap features.
+    pub send: WindowFeatures,
+    /// Recv-tap features.
+    pub recv: WindowFeatures,
+    /// True send media rate, Mbps.
+    pub gt_send_mbps: Option<f64>,
+    /// True receive media rate, Mbps.
+    pub gt_recv_mbps: Option<f64>,
+    /// True decoded frames (all remote senders).
+    pub gt_frames: Option<u64>,
+    /// True freezes registered in the window.
+    pub gt_freeze_count: Option<u64>,
+    /// True freeze time accumulated in the window, seconds.
+    pub gt_freeze_s: Option<f64>,
+}
+
+/// Join one scenario's windows against its ground-truth samples.
+pub fn join_windows(scenario: &str, out: &InferOutcome) -> Vec<WindowRow> {
+    let mut stats = StatsCollector::new();
+    for s in &out.stats {
+        stats.push(*s);
+    }
+    let delta = |w: u64, f: &dyn Fn(&StatsSample) -> u64| {
+        stats.counter_delta(SimTime::from_secs(w), SimTime::from_secs(w + 1), f)
+    };
+    out.send
+        .iter()
+        .zip(out.recv.iter())
+        .map(|(send, recv)| {
+            let w = send.window;
+            WindowRow {
+                scenario: scenario.to_string(),
+                window: w,
+                send: send.clone(),
+                recv: recv.clone(),
+                gt_send_mbps: delta(w, &|s| s.send_media_bytes).map(|b| b as f64 * 8e-6),
+                gt_recv_mbps: delta(w, &|s| s.recv_media_bytes).map(|b| b as f64 * 8e-6),
+                gt_frames: delta(w, &|s| s.frames_decoded),
+                gt_freeze_count: delta(w, &|s| s.freeze_count),
+                gt_freeze_s: delta(w, &|s| s.freeze_time.as_micros()).map(|us| us as f64 * 1e-6),
+            }
+        })
+        .collect()
+}
+
+/// Run a named-scenario suite on `jobs` workers. Output order and bytes
+/// are independent of `jobs`.
+pub fn infer_suite(scenarios: &[(String, ScenarioSpec)], jobs: usize) -> Vec<Vec<WindowRow>> {
+    run_indexed(scenarios.len(), jobs, |i| {
+        join_windows(&scenarios[i].0, &run_spec_infer(&scenarios[i].1))
+    })
+}
+
+/// Ground-truth rates below this are skipped for relative error (the
+/// ratio is unstable when the true rate is near zero, e.g. during the
+/// first ramp-up second or a competition-induced outage).
+const MIN_GT_MBPS: f64 = 0.01;
+/// Minimum true frames per window for FPS relative error.
+const MIN_GT_FRAMES: u64 = 1;
+/// Freeze matching tolerance, windows. Both the replica and the client
+/// stamp a freeze at its *recovery* frame, but they recover on different
+/// timelines: the tap sees queue-retimed packets mid-path, while the
+/// client's decode clock stalls through keyframe re-request after a loss
+/// — so one client-side freeze episode can resolve as two counts a
+/// couple of seconds apart. An estimate within ±2 windows of a true
+/// freeze counts as the same episode.
+const FREEZE_WINDOW_SLACK: u64 = 2;
+
+/// Accuracy of one metric over a pool of windows: the distribution of
+/// `|est − truth| / truth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricScore {
+    /// Windows scored.
+    pub n: usize,
+    /// Median absolute relative error.
+    pub median_rel_err: f64,
+    /// Mean absolute relative error.
+    pub mean_rel_err: f64,
+    /// Error CDF: 0th, 10th, …, 100th percentiles.
+    pub deciles: Vec<f64>,
+}
+
+impl MetricScore {
+    fn from_errors(mut errs: Vec<f64>) -> MetricScore {
+        errs.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            if errs.is_empty() {
+                return 0.0;
+            }
+            let idx = (p * (errs.len() - 1) as f64).round() as usize;
+            errs[idx.min(errs.len() - 1)]
+        };
+        MetricScore {
+            n: errs.len(),
+            median_rel_err: pct(0.5),
+            mean_rel_err: if errs.is_empty() {
+                0.0
+            } else {
+                errs.iter().sum::<f64>() / errs.len() as f64
+            },
+            deciles: (0..=10).map(|d| pct(d as f64 / 10.0)).collect(),
+        }
+    }
+}
+
+/// Window-level freeze detection quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreezeScore {
+    /// Windows with a true freeze.
+    pub gt_windows: usize,
+    /// Windows with an estimated freeze.
+    pub est_windows: usize,
+    /// True freezes matched by an estimate (within the slack).
+    pub matched_gt: usize,
+    /// Estimated freezes matched by a truth.
+    pub matched_est: usize,
+    /// `matched_est / est_windows` (1.0 when nothing was estimated).
+    pub precision: f64,
+    /// `matched_gt / gt_windows` (1.0 when nothing was frozen).
+    pub recall: f64,
+}
+
+/// One estimator's scores over a window pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorScore {
+    /// Estimator name.
+    pub estimator: String,
+    /// Send- and recv-tap bitrate errors pooled (the headline gate).
+    pub bitrate: MetricScore,
+    /// Send-tap bitrate errors alone.
+    pub send_bitrate: MetricScore,
+    /// Recv-tap bitrate errors alone.
+    pub recv_bitrate: MetricScore,
+    /// Decoded-FPS errors (recv tap only).
+    pub fps: MetricScore,
+    /// Freeze precision/recall (recv tap only).
+    pub freeze: FreezeScore,
+}
+
+/// Score one estimator over joined rows.
+pub fn score(rows: &[WindowRow], est: &dyn Estimator) -> EstimatorScore {
+    let rel = |est: f64, gt: f64| (est - gt).abs() / gt;
+    let mut send_errs = Vec::new();
+    let mut recv_errs = Vec::new();
+    let mut fps_errs = Vec::new();
+    // Freeze-positive windows, per scenario boundary-safe keying.
+    let mut gt_pos: Vec<(&str, u64)> = Vec::new();
+    let mut est_pos: Vec<(&str, u64)> = Vec::new();
+    for row in rows {
+        let e_send = est.estimate(&row.send);
+        let e_recv = est.estimate(&row.recv);
+        if let Some(gt) = row.gt_send_mbps {
+            if gt >= MIN_GT_MBPS {
+                send_errs.push(rel(e_send.media_mbps, gt));
+            }
+        }
+        if let Some(gt) = row.gt_recv_mbps {
+            if gt >= MIN_GT_MBPS {
+                recv_errs.push(rel(e_recv.media_mbps, gt));
+            }
+        }
+        if let Some(gt) = row.gt_frames {
+            if gt >= MIN_GT_FRAMES {
+                fps_errs.push(rel(e_recv.fps, gt as f64));
+            }
+        }
+        if row.gt_freeze_count.unwrap_or(0) > 0 {
+            gt_pos.push((&row.scenario, row.window));
+        }
+        if e_recv.freeze_count > 0 {
+            est_pos.push((&row.scenario, row.window));
+        }
+    }
+    let near =
+        |a: &(&str, u64), b: &(&str, u64)| a.0 == b.0 && a.1.abs_diff(b.1) <= FREEZE_WINDOW_SLACK;
+    let matched_gt = gt_pos
+        .iter()
+        .filter(|g| est_pos.iter().any(|e| near(g, e)))
+        .count();
+    let matched_est = est_pos
+        .iter()
+        .filter(|e| gt_pos.iter().any(|g| near(g, e)))
+        .count();
+    let ratio = |num: usize, den: usize| {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    let mut pooled = send_errs.clone();
+    pooled.extend_from_slice(&recv_errs);
+    EstimatorScore {
+        estimator: est.name().to_string(),
+        bitrate: MetricScore::from_errors(pooled),
+        send_bitrate: MetricScore::from_errors(send_errs),
+        recv_bitrate: MetricScore::from_errors(recv_errs),
+        fps: MetricScore::from_errors(fps_errs),
+        freeze: FreezeScore {
+            gt_windows: gt_pos.len(),
+            est_windows: est_pos.len(),
+            matched_gt,
+            matched_est,
+            precision: ratio(matched_est, est_pos.len()),
+            recall: ratio(matched_gt, gt_pos.len()),
+        },
+    }
+}
+
+/// Per-scenario bitrate summary (the EXPERIMENTS.md table rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioScore {
+    /// Scenario name.
+    pub scenario: String,
+    /// Joined windows.
+    pub windows: usize,
+    /// Median pooled bitrate error of the heuristic estimator.
+    pub heuristic_bitrate_err: f64,
+    /// Median pooled bitrate error of the calibrated estimator.
+    pub calibrated_bitrate_err: f64,
+    /// True freeze windows in this scenario.
+    pub gt_freeze_windows: usize,
+}
+
+/// The full validation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReport {
+    /// Total joined windows.
+    pub windows: usize,
+    /// Pooled scores per estimator.
+    pub estimators: Vec<EstimatorScore>,
+    /// Per-scenario summaries, in suite order.
+    pub scenarios: Vec<ScenarioScore>,
+}
+
+/// Score the suite with the heuristic and `model` estimators.
+pub fn build_report(per_scenario_rows: &[Vec<WindowRow>], model: &LinearModel) -> InferReport {
+    let all: Vec<WindowRow> = per_scenario_rows.iter().flatten().cloned().collect();
+    let heuristic = score(&all, &HeuristicEstimator);
+    let calibrated = score(&all, model);
+    let scenarios = per_scenario_rows
+        .iter()
+        .filter(|rows| !rows.is_empty())
+        .map(|rows| ScenarioScore {
+            scenario: rows[0].scenario.clone(),
+            windows: rows.len(),
+            heuristic_bitrate_err: score(rows, &HeuristicEstimator).bitrate.median_rel_err,
+            calibrated_bitrate_err: score(rows, model).bitrate.median_rel_err,
+            gt_freeze_windows: rows
+                .iter()
+                .filter(|r| r.gt_freeze_count.unwrap_or(0) > 0)
+                .count(),
+        })
+        .collect();
+    InferReport {
+        windows: all.len(),
+        estimators: vec![heuristic, calibrated],
+        scenarios,
+    }
+}
+
+/// Fit a calibration model from joined rows (bitrate on both taps, FPS
+/// on the recv tap; see [`LinearModel::fit`]). Rows are weighted by
+/// `1/truth²` so the fit minimizes relative error — the same quantity
+/// the accuracy gates measure — with the truth floored to keep
+/// near-outage windows from dominating.
+pub fn fit_model(rows: &[WindowRow]) -> Option<LinearModel> {
+    let rel_weight = |gt: f64, floor: f64| 1.0 / (gt.max(floor) * gt.max(floor));
+    let mut bitrate: Vec<([f64; NUM_FEATURES], f64, f64)> = Vec::new();
+    let mut fps: Vec<([f64; NUM_FEATURES], f64, f64)> = Vec::new();
+    for row in rows {
+        if let Some(gt) = row.gt_send_mbps {
+            if gt >= MIN_GT_MBPS {
+                bitrate.push((feature_vector(&row.send), gt, rel_weight(gt, 0.1)));
+            }
+        }
+        if let Some(gt) = row.gt_recv_mbps {
+            if gt >= MIN_GT_MBPS {
+                bitrate.push((feature_vector(&row.recv), gt, rel_weight(gt, 0.1)));
+            }
+        }
+        if let Some(gt) = row.gt_frames {
+            if gt >= MIN_GT_FRAMES {
+                fps.push((
+                    feature_vector(&row.recv),
+                    gt as f64,
+                    rel_weight(gt as f64, 1.0),
+                ));
+            }
+        }
+    }
+    LinearModel::fit(&bitrate, &fps, 1e-6)
+}
+
+/// Render the report as deterministic text.
+pub fn render_infer_report(report: &InferReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "passive QoE inference: {} joined windows, {} scenarios\n",
+        report.windows,
+        report.scenarios.len()
+    ));
+    for est in &report.estimators {
+        s.push_str(&format!("estimator `{}`:\n", est.estimator));
+        for (label, m) in [
+            ("bitrate (pooled)", &est.bitrate),
+            ("bitrate (send)", &est.send_bitrate),
+            ("bitrate (recv)", &est.recv_bitrate),
+            ("fps (recv)", &est.fps),
+        ] {
+            s.push_str(&format!(
+                "  {label:<16} n={:<5} median {:>6.1}%  mean {:>6.1}%  p90 {:>6.1}%\n",
+                m.n,
+                m.median_rel_err * 100.0,
+                m.mean_rel_err * 100.0,
+                m.deciles[9] * 100.0,
+            ));
+        }
+        let f = &est.freeze;
+        s.push_str(&format!(
+            "  freeze           gt={} est={} precision {:.2} recall {:.2}\n",
+            f.gt_windows, f.est_windows, f.precision, f.recall
+        ));
+    }
+    s.push_str("per scenario (median pooled bitrate error):\n");
+    for sc in &report.scenarios {
+        s.push_str(&format!(
+            "  {:<22} windows={:<4} heuristic {:>6.1}%  calibrated {:>6.1}%  freeze-windows={}\n",
+            sc.scenario,
+            sc.windows,
+            sc.heuristic_bitrate_err * 100.0,
+            sc.calibrated_bitrate_err * 100.0,
+            sc.gt_freeze_windows
+        ));
+    }
+    s
+}
+
+/// Serialize the report as a stable JSON artifact (fixed key order).
+pub fn infer_report_json(report: &InferReport) -> String {
+    use serde_json::{Map, Value};
+    let metric = |m: &MetricScore| {
+        let mut o = Map::new();
+        o.insert("n".to_string(), Value::U64(m.n as u64));
+        o.insert("median_rel_err".to_string(), Value::F64(m.median_rel_err));
+        o.insert("mean_rel_err".to_string(), Value::F64(m.mean_rel_err));
+        o.insert(
+            "deciles".to_string(),
+            Value::Array(m.deciles.iter().map(|&d| Value::F64(d)).collect()),
+        );
+        Value::Object(o)
+    };
+    let mut root = Map::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("vcabench-infer-report/v1".to_string()),
+    );
+    root.insert("windows".to_string(), Value::U64(report.windows as u64));
+    root.insert(
+        "estimators".to_string(),
+        Value::Array(
+            report
+                .estimators
+                .iter()
+                .map(|e| {
+                    let mut o = Map::new();
+                    o.insert("name".to_string(), Value::String(e.estimator.clone()));
+                    o.insert("bitrate".to_string(), metric(&e.bitrate));
+                    o.insert("send_bitrate".to_string(), metric(&e.send_bitrate));
+                    o.insert("recv_bitrate".to_string(), metric(&e.recv_bitrate));
+                    o.insert("fps".to_string(), metric(&e.fps));
+                    let f = &e.freeze;
+                    let mut fz = Map::new();
+                    fz.insert("gt_windows".to_string(), Value::U64(f.gt_windows as u64));
+                    fz.insert("est_windows".to_string(), Value::U64(f.est_windows as u64));
+                    fz.insert("precision".to_string(), Value::F64(f.precision));
+                    fz.insert("recall".to_string(), Value::F64(f.recall));
+                    o.insert("freeze".to_string(), Value::Object(fz));
+                    Value::Object(o)
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "scenarios".to_string(),
+        Value::Array(
+            report
+                .scenarios
+                .iter()
+                .map(|s| {
+                    let mut o = Map::new();
+                    o.insert("name".to_string(), Value::String(s.scenario.clone()));
+                    o.insert("windows".to_string(), Value::U64(s.windows as u64));
+                    o.insert(
+                        "heuristic_bitrate_err".to_string(),
+                        Value::F64(s.heuristic_bitrate_err),
+                    );
+                    o.insert(
+                        "calibrated_bitrate_err".to_string(),
+                        Value::F64(s.calibrated_bitrate_err),
+                    );
+                    o.insert(
+                        "gt_freeze_windows".to_string(),
+                        Value::U64(s.gt_freeze_windows as u64),
+                    );
+                    Value::Object(o)
+                })
+                .collect(),
+        ),
+    );
+    let mut text = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable report");
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::unshaped_two_party;
+    use vcabench_netsim::RateProfile;
+    use vcabench_telemetry::{events_jsonl, replay_jsonl, EventLog};
+    use vcabench_vca::VcaKind;
+
+    #[test]
+    fn tap_constants_match_the_topology_builders() {
+        use vcabench_netsim::{topology, Network};
+        use vcabench_transport::Wire;
+        // Two-party: C1's access links are created first.
+        let mut net: Network<Wire> = Network::new();
+        let topo = topology::two_party(
+            &mut net,
+            RateProfile::constant_mbps(10.0),
+            RateProfile::constant_mbps(10.0),
+        );
+        assert_eq!(topo.c1_up.0, 0);
+        assert_eq!(topo.c1_down.0, 1);
+        // Competition: the shared bottleneck comes after C1's and F1's
+        // duplex access links.
+        let mut net: Network<Wire> = Network::new();
+        let topo = topology::competition(
+            &mut net,
+            RateProfile::constant_mbps(10.0),
+            RateProfile::constant_mbps(10.0),
+        );
+        assert_eq!(topo.bottleneck_up.0, 4);
+        assert_eq!(topo.bottleneck_down.0, 5);
+        // Multiparty: per-client uplink/downlink pairs, client 0 first.
+        let mut net: Network<Wire> = Network::new();
+        let topo = topology::multiparty(
+            &mut net,
+            4,
+            RateProfile::constant_mbps(10.0),
+            RateProfile::constant_mbps(10.0),
+        );
+        assert_eq!(topo.uplinks[0].0, 0);
+        assert_eq!(topo.downlinks[0].0, 1);
+        // `wire_call` numbers C1's flows from base 10.
+        let call = vcabench_vca::two_party_call(
+            VcaKind::Meet,
+            RateProfile::constant_mbps(10.0),
+            RateProfile::constant_mbps(10.0),
+            1,
+        );
+        assert_eq!(call.handles.up_flows[0].0, 10);
+        assert_eq!(call.handles.down_flows[0].0, 11);
+    }
+
+    #[test]
+    fn live_and_offline_extraction_are_identical() {
+        let spec = unshaped_two_party(VcaKind::Meet, 8.0, 7);
+        let live = run_spec_infer(&spec);
+        // Offline: capture the full event log of an identical run, then
+        // replay the JSONL export through a fresh bank.
+        let (tel, log) = Telemetry::with_log(EventLog::unbounded());
+        crate::campaign::run_spec_telemetry(&spec, &tel);
+        let jsonl = events_jsonl(&log.borrow());
+        let taps = taps_for(&spec);
+        let mut bank = TapBank::new(&[taps.send, taps.recv]);
+        replay_jsonl(&jsonl, &mut bank).expect("replay");
+        let offline = bank.finish(live.duration);
+        assert_eq!(live.send, offline[0]);
+        assert_eq!(live.recv, offline[1]);
+        assert!(!live.send.is_empty());
+    }
+
+    #[test]
+    fn joined_rows_score_sanely_on_a_short_call() {
+        let spec = unshaped_two_party(VcaKind::Meet, 12.0, 3);
+        let rows = join_windows("two_party_meet", &run_spec_infer(&spec));
+        assert!(!rows.is_empty());
+        // Window 0 has no sample at its left endpoint: ground truth None.
+        assert!(rows[0].gt_send_mbps.is_none());
+        let with_gt = rows.iter().filter(|r| r.gt_recv_mbps.is_some()).count();
+        assert!(with_gt >= 8, "most windows join: {with_gt}");
+        // Meet sends little FEC, so even the heuristic is close.
+        let s = score(&rows, &HeuristicEstimator);
+        assert!(
+            s.recv_bitrate.median_rel_err < 0.15,
+            "recv bitrate err {}",
+            s.recv_bitrate.median_rel_err
+        );
+        assert!(
+            s.fps.median_rel_err < 0.25,
+            "fps err {}",
+            s.fps.median_rel_err
+        );
+        // Unconstrained call: no freezes on either side.
+        assert_eq!(s.freeze.gt_windows, 0);
+        assert_eq!(s.freeze.recall, 1.0);
+    }
+
+    #[test]
+    fn suite_output_is_independent_of_jobs() {
+        let scenarios: Vec<(String, ScenarioSpec)> = vec![
+            (
+                "meet".to_string(),
+                unshaped_two_party(VcaKind::Meet, 6.0, 1),
+            ),
+            (
+                "zoom".to_string(),
+                unshaped_two_party(VcaKind::Zoom, 6.0, 2),
+            ),
+            (
+                "teams".to_string(),
+                unshaped_two_party(VcaKind::Teams, 6.0, 3),
+            ),
+        ];
+        let one = infer_suite(&scenarios, 1);
+        let many = infer_suite(&scenarios, 4);
+        assert_eq!(one, many);
+        let model = LinearModel::builtin();
+        let r1 = build_report(&one, &model);
+        let r2 = build_report(&many, &model);
+        assert_eq!(infer_report_json(&r1), infer_report_json(&r2));
+        assert_eq!(render_infer_report(&r1), render_infer_report(&r2));
+    }
+
+    #[test]
+    fn metric_score_percentiles_are_deterministic() {
+        let m = MetricScore::from_errors(vec![0.5, 0.1, 0.3, 0.2, 0.4]);
+        assert_eq!(m.n, 5);
+        assert!((m.median_rel_err - 0.3).abs() < 1e-12);
+        assert!((m.mean_rel_err - 0.3).abs() < 1e-12);
+        assert_eq!(m.deciles.len(), 11);
+        assert!((m.deciles[0] - 0.1).abs() < 1e-12);
+        assert!((m.deciles[10] - 0.5).abs() < 1e-12);
+        let empty = MetricScore::from_errors(vec![]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.median_rel_err, 0.0);
+    }
+}

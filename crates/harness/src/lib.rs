@@ -15,6 +15,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod infer;
 pub mod profile;
 pub mod render;
 pub mod run;
@@ -22,6 +23,10 @@ pub mod telemetry;
 
 pub use campaign::{
     run_campaign, run_campaign_cached, run_spec, run_spec_metered, run_spec_telemetry,
+};
+pub use infer::{
+    build_report, fit_model, infer_report_json, infer_suite, join_windows, render_infer_report,
+    run_spec_infer, run_spec_infer_metered, score, taps_for, InferOutcome, InferReport, WindowRow,
 };
 pub use profile::{profile_engine, profile_two_party, render_profile};
 pub use run::{

@@ -218,6 +218,8 @@ pub struct CompetitionOutcome {
     pub netflix: Option<Vec<NetflixSample>>,
     /// Netflix connections opened in total.
     pub netflix_conns: u64,
+    /// Incumbent C1's per-second samples (passive-inference ground truth).
+    pub c1_stats: Vec<StatsSample>,
 }
 
 impl CompetitionOutcome {
@@ -405,6 +407,7 @@ pub fn run_competition_metered(
     } else {
         (None, 0)
     };
+    let c1_stats = net.agent::<VcaClient>(topo.c1).stats.samples().to_vec();
     let outcome = CompetitionOutcome {
         duration: end,
         inc_up,
@@ -413,6 +416,7 @@ pub fn run_competition_metered(
         comp_down,
         netflix,
         netflix_conns,
+        c1_stats,
     };
     (outcome, net.engine_stats())
 }
@@ -424,6 +428,8 @@ pub struct MultipartyOutcome {
     pub c1_down_mbps: f64,
     /// C1's uplink average, Mbps.
     pub c1_up_mbps: f64,
+    /// C1's per-second samples (passive-inference ground truth).
+    pub c1_stats: Vec<StatsSample>,
 }
 
 /// Run an n-party call; `pin_c1` puts every other participant in speaker
@@ -486,9 +492,16 @@ pub fn run_multiparty_metered(
         .traces
         .total()
         .rate_mbps_between(settle, end);
+    let c1_stats = call
+        .net
+        .agent::<VcaClient>(call.topo.clients[0])
+        .stats
+        .samples()
+        .to_vec();
     let outcome = MultipartyOutcome {
         c1_down_mbps: c1_down,
         c1_up_mbps: c1_up,
+        c1_stats,
     };
     (outcome, call.net.engine_stats())
 }

@@ -1,0 +1,595 @@
+//! Streaming, single-pass feature extraction from packet-level telemetry.
+//!
+//! An [`Extractor`] watches one tap — a `(link, flow)` pair plus a
+//! [`Vantage`] — and folds the packet events that cross it into per-second
+//! [`WindowFeatures`]. It implements [`vcabench_telemetry::Recorder`], so
+//! the same code runs *online* (attached to a live simulation through a
+//! [`vcabench_telemetry::Telemetry`] handle) and *offline* (fed from an
+//! exported `.events.jsonl` trace via
+//! [`vcabench_telemetry::replay_jsonl`]); both paths see the identical
+//! event stream and therefore produce identical features.
+//!
+//! Nothing here reads application-layer state: the extractor sees only
+//! timestamps, wire sizes, and drop notifications, exactly what a passive
+//! on-path observer of an encrypted RTP flow gets. Everything else —
+//! media/overhead split, frame boundaries, decodability, freezes — is
+//! *inferred*:
+//!
+//! - **Size classification.** Audio packets are small and near-constant
+//!   (≤ [`AUDIO_WIRE`] bytes on the wire, like the paper's Zoom audio at
+//!   ~0.04 Mbps × 50 pkt/s), as are RTCP and signaling. Anything strictly
+//!   larger is treated as video ([`VIDEO_MIN_WIRE`]).
+//! - **Frame boundaries.** Encoders packetize a frame into MTU-sized
+//!   packets plus one partial tail, so a video packet smaller than
+//!   [`FULL_WIRE`] marks the end of a frame (the classic silence/marker
+//!   heuristic). Frames whose size is an exact multiple of the payload
+//!   MTU have no partial tail; a pending frame is force-closed when the
+//!   video stream pauses for more than [`FRAME_CLOSE_GAP_S`].
+//! - **Decodability and freezes.** Observed drops on the flow damage the
+//!   inferred decode timeline (a stand-in for RTP sequence-number gaps,
+//!   which the telemetry schema does not carry); damaged frames stop
+//!   advancing it until a keyframe-sized frame (> [`KEYFRAME_FACTOR`] ×
+//!   the rolling frame-size mean) restores sync, mirroring the
+//!   FIR-keyframe recovery of the real assembler. The advancing timeline
+//!   feeds a replica of the receive-side freeze rule (gap >
+//!   max(3δ, δ + 150 ms), δ an EMA of inter-frame time).
+
+use vcabench_simcore::SimTime;
+use vcabench_telemetry::{EventKind, Recorder};
+
+/// Per-packet header overhead on the wire: RTP (12) + UDP/IP (28).
+pub const HEADER_BYTES: u64 = 40;
+/// Largest wire size still classified as audio/control (the constant-rate
+/// audio stream is exactly this size; RTCP and signaling are smaller).
+pub const AUDIO_WIRE: u64 = 140;
+/// Smallest wire size classified as video.
+pub const VIDEO_MIN_WIRE: u64 = AUDIO_WIRE + 1;
+/// Wire size of a full (MTU-payload) video packet; smaller video packets
+/// are partial tails that mark a frame boundary.
+pub const FULL_WIRE: u64 = 1140;
+/// Video-stream silence that force-closes a pending frame whose tail
+/// packet was full-sized (frame bytes an exact MTU multiple), seconds.
+pub const FRAME_CLOSE_GAP_S: f64 = 0.080;
+/// A frame larger than this multiple of the rolling mean frame size is
+/// taken for a keyframe (the encoder's keyframes are ~4× a delta frame).
+pub const KEYFRAME_FACTOR: f64 = 2.0;
+/// EMA weight of the rolling mean frame size.
+pub const FRAME_EMA_ALPHA: f64 = 0.1;
+/// Initial frame-rate assumption of the freeze replica (matches the
+/// receive-side detector's initialization).
+pub const INITIAL_FPS: f64 = 30.0;
+/// Additive term of the freeze threshold, seconds (the webrtc-internals
+/// rule the paper measures with: gap > max(3δ, δ + 150 ms)).
+pub const FREEZE_OFFSET_S: f64 = 0.150;
+
+/// Which side of the tap link the virtual observer sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vantage {
+    /// Before the queue: sees every packet the sender emitted, i.e.
+    /// enqueues *and* drops on the tap link (they are mutually exclusive
+    /// per packet).
+    Send,
+    /// After the queue: sees dequeues on the tap link; drops anywhere on
+    /// the flow are visible only as damage (the proxy for sequence gaps).
+    Recv,
+}
+
+/// One passive observation point: a link, a flow on it, and a vantage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapSpec {
+    /// Link index to watch.
+    pub link: u64,
+    /// Flow to watch on that link.
+    pub flow: u64,
+    /// Observer position.
+    pub vantage: Vantage,
+}
+
+/// Features of one `[w, w+1)`-second window of a tap.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowFeatures {
+    /// Window index: the window covers `[window, window+1)` seconds.
+    pub window: u64,
+    /// Total wire bytes observed (all packet classes, headers included).
+    pub wire_bytes: u64,
+    /// Video payload bytes (wire minus [`HEADER_BYTES`] per video packet).
+    /// Includes FEC payload — a passive observer cannot tell them apart.
+    pub video_payload_bytes: u64,
+    /// Video-classified packets observed.
+    pub video_pkts: u64,
+    /// Video packets of exactly full wire size (MTU payload).
+    pub full_pkts: u64,
+    /// Non-video packets observed (audio, RTCP, signaling).
+    pub small_pkts: u64,
+    /// Drop events attributed to the tap in this window.
+    pub drops: u64,
+    /// Frame boundaries detected (marker or gap-closed).
+    pub frames: u64,
+    /// Frames that advanced the inferred decode timeline (excludes frames
+    /// observed while the flow was damage-flagged).
+    pub frames_decodable: u64,
+    /// Freezes the replica detector flagged in this window.
+    pub freeze_count: u64,
+    /// Freeze time the replica accumulated in this window, seconds.
+    pub freeze_time_s: f64,
+}
+
+impl WindowFeatures {
+    fn empty(window: u64) -> Self {
+        WindowFeatures {
+            window,
+            ..WindowFeatures::default()
+        }
+    }
+
+    /// Video payload rate over the 1 s window, Mbps.
+    pub fn video_mbps(&self) -> f64 {
+        self.video_payload_bytes as f64 * 8e-6
+    }
+
+    /// Fraction of video packets that were full-sized (high under heavy
+    /// FEC, whose packets are always full-sized).
+    pub fn full_fraction(&self) -> f64 {
+        if self.video_pkts == 0 {
+            0.0
+        } else {
+            self.full_pkts as f64 / self.video_pkts as f64
+        }
+    }
+
+    /// Mean video payload per packet, bytes (0 when no video packets).
+    pub fn mean_video_payload(&self) -> f64 {
+        if self.video_pkts == 0 {
+            0.0
+        } else {
+            self.video_payload_bytes as f64 / self.video_pkts as f64
+        }
+    }
+}
+
+/// Replica of the receive-side freeze rule, fed with *inferred* frame
+/// times instead of decoded frames.
+#[derive(Debug, Clone)]
+struct FreezeReplica {
+    last_frame: Option<f64>,
+    delta_s: f64,
+    freeze_count: u64,
+    freeze_time_s: f64,
+}
+
+impl FreezeReplica {
+    fn new() -> Self {
+        FreezeReplica {
+            last_frame: None,
+            delta_s: 1.0 / INITIAL_FPS,
+            freeze_count: 0,
+            freeze_time_s: 0.0,
+        }
+    }
+
+    fn on_frame(&mut self, now_s: f64) {
+        if let Some(last) = self.last_frame {
+            let gap = (now_s - last).max(0.0);
+            let threshold = (3.0 * self.delta_s).max(self.delta_s + FREEZE_OFFSET_S);
+            if gap > threshold {
+                self.freeze_count += 1;
+                self.freeze_time_s += gap - self.delta_s;
+            } else {
+                self.delta_s = 0.95 * self.delta_s + 0.05 * gap;
+            }
+        }
+        self.last_frame = Some(now_s);
+    }
+}
+
+/// Single-pass windowed feature extractor for one tap.
+///
+/// Feed it events in simulation-time order (the [`Recorder`] contract),
+/// then call [`Extractor::finish`] to flush and collect the windows. The
+/// extractor holds O(1) state plus the completed windows — it never
+/// buffers packets.
+#[derive(Debug, Clone)]
+pub struct Extractor {
+    tap: TapSpec,
+    done: Vec<WindowFeatures>,
+    cur: WindowFeatures,
+    started: bool,
+    // Frame segmentation.
+    pending_payload: u64,
+    last_video_s: Option<f64>,
+    // Inferred decode timeline.
+    damaged: bool,
+    frame_size_ema: f64,
+    freeze: FreezeReplica,
+}
+
+fn window_of(at: SimTime) -> u64 {
+    at.as_micros() / 1_000_000
+}
+
+impl Extractor {
+    /// An extractor for `tap` with no events seen yet.
+    pub fn new(tap: TapSpec) -> Self {
+        Extractor {
+            tap,
+            done: Vec::new(),
+            cur: WindowFeatures::empty(0),
+            started: false,
+            pending_payload: 0,
+            last_video_s: None,
+            damaged: false,
+            frame_size_ema: 0.0,
+            freeze: FreezeReplica::new(),
+        }
+    }
+
+    /// The tap this extractor watches.
+    pub fn tap(&self) -> TapSpec {
+        self.tap
+    }
+
+    /// Flush the pending window and return every *complete* window in
+    /// `[0, end)` (windows after the last event are emitted empty; a
+    /// partial trailing window, when `end` is not on a second boundary,
+    /// is discarded). A frame still pending at `end` never completed and
+    /// is dropped, like an assembler discarding a partial frame.
+    pub fn finish(mut self, end: SimTime) -> Vec<WindowFeatures> {
+        self.roll_to(window_of(end));
+        self.done
+    }
+
+    /// Seal windows before `w` and make `w` current.
+    fn roll_to(&mut self, w: u64) {
+        if !self.started {
+            self.started = true;
+            self.done.extend((0..w).map(WindowFeatures::empty));
+            self.cur = WindowFeatures::empty(w);
+            return;
+        }
+        let cw = self.cur.window;
+        if w <= cw {
+            return;
+        }
+        let sealed = std::mem::replace(&mut self.cur, WindowFeatures::empty(w));
+        self.done.push(sealed);
+        self.done.extend((cw + 1..w).map(WindowFeatures::empty));
+    }
+
+    /// One packet crossed the tap at `at` with `bytes` on the wire.
+    fn observe_packet(&mut self, at: SimTime, bytes: u64) {
+        let now_s = at.as_secs_f64();
+        // A long video silence closes a pending frame whose tail packet
+        // was full-sized; the frame is attributed to the current window
+        // (its true end lies at the last video packet).
+        if self.pending_payload > 0 {
+            if let Some(last) = self.last_video_s {
+                if now_s - last > FRAME_CLOSE_GAP_S {
+                    let t = last;
+                    self.complete_frame(t);
+                }
+            }
+        }
+        self.roll_to(window_of(at));
+        self.cur.wire_bytes += bytes;
+        if bytes >= VIDEO_MIN_WIRE {
+            self.cur.video_pkts += 1;
+            self.cur.video_payload_bytes += bytes - HEADER_BYTES;
+            self.pending_payload += bytes - HEADER_BYTES;
+            self.last_video_s = Some(now_s);
+            if bytes >= FULL_WIRE {
+                self.cur.full_pkts += 1;
+            } else {
+                // Partial tail: the frame's last packet.
+                self.complete_frame(now_s);
+            }
+        } else {
+            self.cur.small_pkts += 1;
+        }
+    }
+
+    /// A frame boundary was inferred at `t` (seconds).
+    fn complete_frame(&mut self, t: f64) {
+        let bytes = self.pending_payload as f64;
+        self.pending_payload = 0;
+        self.cur.frames += 1;
+        let ema = self.frame_size_ema;
+        let keyframe_sized = ema > 0.0 && bytes > KEYFRAME_FACTOR * ema;
+        self.frame_size_ema = if ema > 0.0 {
+            (1.0 - FRAME_EMA_ALPHA) * ema + FRAME_EMA_ALPHA * bytes
+        } else {
+            bytes
+        };
+        if self.damaged && !keyframe_sized {
+            // Presumed undecodable: the reference chain is broken and
+            // this frame is not big enough to be the recovery keyframe.
+            return;
+        }
+        self.damaged = false;
+        self.cur.frames_decodable += 1;
+        let before = (self.freeze.freeze_count, self.freeze.freeze_time_s);
+        self.freeze.on_frame(t);
+        self.cur.freeze_count += self.freeze.freeze_count - before.0;
+        self.cur.freeze_time_s += self.freeze.freeze_time_s - before.1;
+    }
+}
+
+impl Recorder for Extractor {
+    fn record(&mut self, at: SimTime, kind: EventKind) {
+        match kind {
+            EventKind::PacketEnqueued {
+                link, flow, bytes, ..
+            } if self.tap.vantage == Vantage::Send
+                && link == self.tap.link
+                && flow == self.tap.flow =>
+            {
+                self.observe_packet(at, bytes)
+            }
+            EventKind::PacketDequeued {
+                link, flow, bytes, ..
+            } if self.tap.vantage == Vantage::Recv
+                && link == self.tap.link
+                && flow == self.tap.flow =>
+            {
+                self.observe_packet(at, bytes)
+            }
+            EventKind::PacketDropped {
+                link, flow, bytes, ..
+            } => match self.tap.vantage {
+                // Pre-queue observer: the sender emitted this packet even
+                // though the queue discarded it.
+                Vantage::Send if link == self.tap.link && flow == self.tap.flow => {
+                    self.observe_packet(at, bytes);
+                    self.cur.drops += 1;
+                }
+                // Post-queue observer: the packet never arrives; a video
+                // loss anywhere on the flow shows up downstream as a
+                // sequence gap, modeled here as decode damage.
+                Vantage::Recv if flow == self.tap.flow && bytes >= VIDEO_MIN_WIRE => {
+                    self.roll_to(window_of(at));
+                    self.cur.drops += 1;
+                    self.damaged = true;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// A bank of extractors sharing one event stream: the [`Recorder`] to
+/// attach when a run feeds several taps at once.
+#[derive(Debug, Clone, Default)]
+pub struct TapBank {
+    extractors: Vec<Extractor>,
+}
+
+impl TapBank {
+    /// One extractor per tap.
+    pub fn new(taps: &[TapSpec]) -> Self {
+        TapBank {
+            extractors: taps.iter().map(|&t| Extractor::new(t)).collect(),
+        }
+    }
+
+    /// Finish every extractor, returning window vectors in tap order.
+    pub fn finish(self, end: SimTime) -> Vec<Vec<WindowFeatures>> {
+        self.extractors.into_iter().map(|e| e.finish(end)).collect()
+    }
+}
+
+impl Recorder for TapBank {
+    fn record(&mut self, at: SimTime, kind: EventKind) {
+        if !matches!(
+            kind,
+            EventKind::PacketEnqueued { .. }
+                | EventKind::PacketDequeued { .. }
+                | EventKind::PacketDropped { .. }
+        ) {
+            return;
+        }
+        for e in &mut self.extractors {
+            e.record(at, kind.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv_tap() -> TapSpec {
+        TapSpec {
+            link: 1,
+            flow: 11,
+            vantage: Vantage::Recv,
+        }
+    }
+
+    fn deq(link: u64, flow: u64, bytes: u64) -> EventKind {
+        EventKind::PacketDequeued {
+            link,
+            flow,
+            pkt: 0,
+            bytes,
+            queue_bytes: 0,
+        }
+    }
+
+    fn enq(link: u64, flow: u64, bytes: u64) -> EventKind {
+        EventKind::PacketEnqueued {
+            link,
+            flow,
+            pkt: 0,
+            bytes,
+            queue_bytes: 0,
+            queue_pkts: 0,
+        }
+    }
+
+    fn drop(link: u64, flow: u64, bytes: u64) -> EventKind {
+        EventKind::PacketDropped {
+            link,
+            flow,
+            pkt: 0,
+            bytes,
+            queue_bytes: 0,
+            reason: "queue_full",
+        }
+    }
+
+    /// Send a frame of `full` full packets plus one marker tail.
+    fn frame(ex: &mut Extractor, at_ms: u64, full: usize) {
+        for i in 0..full {
+            ex.record(
+                SimTime::from_millis(at_ms) + vcabench_simcore::SimDuration::from_micros(i as u64),
+                deq(1, 11, FULL_WIRE),
+            );
+        }
+        ex.record(
+            SimTime::from_millis(at_ms) + vcabench_simcore::SimDuration::from_micros(full as u64),
+            deq(1, 11, 500),
+        );
+    }
+
+    #[test]
+    fn marker_packets_delimit_frames() {
+        let mut ex = Extractor::new(recv_tap());
+        for i in 0..30u64 {
+            frame(&mut ex, 33 * i, 2);
+        }
+        let w = ex.finish(SimTime::from_secs(1));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].frames, 30);
+        assert_eq!(w[0].frames_decodable, 30);
+        assert_eq!(w[0].video_pkts, 90);
+        assert_eq!(w[0].full_pkts, 60);
+        assert_eq!(
+            w[0].video_payload_bytes,
+            60 * (FULL_WIRE - HEADER_BYTES) + 30 * (500 - HEADER_BYTES)
+        );
+        assert_eq!(w[0].freeze_count, 0);
+    }
+
+    #[test]
+    fn stalled_full_sized_tail_is_gap_closed() {
+        let mut ex = Extractor::new(recv_tap());
+        // A frame that is an exact MTU multiple: both packets full-sized.
+        ex.record(SimTime::from_millis(0), deq(1, 11, FULL_WIRE));
+        ex.record(SimTime::from_millis(1), deq(1, 11, FULL_WIRE));
+        // Next activity is far beyond the close gap: an audio packet.
+        ex.record(SimTime::from_millis(200), deq(1, 11, AUDIO_WIRE));
+        let w = ex.finish(SimTime::from_secs(1));
+        assert_eq!(w[0].frames, 1, "pending frame closed by the gap");
+        // But a frame still pending at the end of the run is discarded.
+        let mut ex = Extractor::new(recv_tap());
+        ex.record(SimTime::from_millis(900), deq(1, 11, FULL_WIRE));
+        let w = ex.finish(SimTime::from_secs(1));
+        assert_eq!(w[0].frames, 0);
+        assert_eq!(w[0].video_pkts, 1, "bytes still counted");
+    }
+
+    #[test]
+    fn windows_roll_and_gaps_emit_empty_windows() {
+        let mut ex = Extractor::new(recv_tap());
+        frame(&mut ex, 500, 1); // window 0
+        frame(&mut ex, 3200, 1); // window 3
+        let w = ex.finish(SimTime::from_secs(5));
+        assert_eq!(w.len(), 5);
+        let frames: Vec<u64> = w.iter().map(|w| w.frames).collect();
+        assert_eq!(frames, vec![1, 0, 0, 1, 0]);
+        let idx: Vec<u64> = w.iter().map(|w| w.window).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn small_packets_never_enter_video_features() {
+        let mut ex = Extractor::new(recv_tap());
+        for i in 0..50u64 {
+            ex.record(SimTime::from_millis(20 * i), deq(1, 11, AUDIO_WIRE));
+            ex.record(SimTime::from_millis(20 * i + 1), deq(1, 11, 96));
+        }
+        let w = ex.finish(SimTime::from_secs(1));
+        assert_eq!(w[0].small_pkts, 100);
+        assert_eq!(w[0].video_pkts, 0);
+        assert_eq!(w[0].frames, 0);
+        assert_eq!(w[0].wire_bytes, 50 * (AUDIO_WIRE + 96));
+    }
+
+    #[test]
+    fn vantage_filters_links_flows_and_event_kinds() {
+        // Recv tap ignores enqueues, other links, other flows.
+        let mut ex = Extractor::new(recv_tap());
+        ex.record(SimTime::from_millis(1), enq(1, 11, FULL_WIRE));
+        ex.record(SimTime::from_millis(2), deq(0, 11, FULL_WIRE));
+        ex.record(SimTime::from_millis(3), deq(1, 10, FULL_WIRE));
+        let w = ex.finish(SimTime::from_secs(1));
+        assert_eq!(w[0].video_pkts, 0);
+        // Send tap sees enqueues AND same-link drops (the pre-queue view).
+        let mut ex = Extractor::new(TapSpec {
+            link: 0,
+            flow: 10,
+            vantage: Vantage::Send,
+        });
+        ex.record(SimTime::from_millis(1), enq(0, 10, FULL_WIRE));
+        ex.record(SimTime::from_millis(2), drop(0, 10, FULL_WIRE));
+        ex.record(SimTime::from_millis(3), drop(4, 10, FULL_WIRE)); // other link: not ours
+        ex.record(SimTime::from_millis(4), deq(0, 10, 500)); // dequeue: invisible pre-queue
+        let w = ex.finish(SimTime::from_secs(1));
+        assert_eq!(w[0].video_pkts, 2);
+        assert_eq!(w[0].drops, 1);
+    }
+
+    #[test]
+    fn freeze_replica_flags_a_long_gap_and_damage_defers_recovery() {
+        // Steady 30 fps for half a second, then silence, then recovery.
+        let mut ex = Extractor::new(recv_tap());
+        for i in 0..15u64 {
+            frame(&mut ex, 33 * i, 1);
+        }
+        // Last frame at 462 ms; the 1.238 s gap >> max(3δ, δ+150ms) ≈ 183 ms.
+        frame(&mut ex, 1700, 1);
+        let w = ex.finish(SimTime::from_secs(2));
+        assert_eq!(w.iter().map(|w| w.freeze_count).sum::<u64>(), 1);
+        let ft: f64 = w.iter().map(|w| w.freeze_time_s).sum();
+        assert!((ft - (1.238 - 0.033)).abs() < 0.02, "freeze time {ft}");
+        // The freeze lands in the window of the recovery frame.
+        assert_eq!(w[1].freeze_count, 1);
+
+        // With a drop in between, ordinary frames do not advance the
+        // timeline; only a keyframe-sized frame ends the damage, and the
+        // whole damaged span counts as one freeze gap.
+        let mut ex = Extractor::new(recv_tap());
+        for i in 0..15u64 {
+            frame(&mut ex, 33 * i, 1);
+        }
+        ex.record(SimTime::from_millis(500), drop(1, 11, FULL_WIRE));
+        for i in 0..30u64 {
+            frame(&mut ex, 520 + 33 * i, 1); // damaged: same size as before
+        }
+        frame(&mut ex, 1700, 8); // keyframe-sized: recovery
+        let w = ex.finish(SimTime::from_secs(2));
+        assert_eq!(w.iter().map(|w| w.freeze_count).sum::<u64>(), 1);
+        assert_eq!(
+            w.iter().map(|w| w.frames_decodable).sum::<u64>(),
+            15 + 1,
+            "damaged frames excluded from the decode timeline"
+        );
+        assert!(w.iter().map(|w| w.frames).sum::<u64>() > 40);
+    }
+
+    #[test]
+    fn extractor_state_is_single_pass_and_order_insensitive_to_windows() {
+        // The same stream fed in one go equals two extractors' worth of
+        // identical prefixes — i.e. no hidden global passes.
+        let mut a = Extractor::new(recv_tap());
+        let mut b = Extractor::new(recv_tap());
+        for i in 0..90u64 {
+            frame(&mut a, 33 * i, 2);
+            frame(&mut b, 33 * i, 2);
+        }
+        assert_eq!(
+            a.finish(SimTime::from_secs(3)),
+            b.finish(SimTime::from_secs(3))
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # vcabench-infer — passive QoE inference from packet traces
+//!
+//! The paper measures video-conferencing QoE from the inside
+//! (`webrtc-internals`, per-second stats APIs). This crate asks how much
+//! of that an *on-path network observer* can recover from encrypted
+//! packet headers alone — timestamps, sizes, and loss — and answers it
+//! with a streaming inference pipeline validated against the simulator's
+//! own ground-truth stats:
+//!
+//! 1. **Features** ([`features`]): a single-pass [`Extractor`] per tap
+//!    (`link` × `flow` × [`Vantage`]) folds packet events into per-second
+//!    [`WindowFeatures`] — byte/packet counts by size class, inferred
+//!    frame boundaries (marker packets), and a replica of the
+//!    receive-side freeze rule driven by inferred decodable frames. It
+//!    implements [`vcabench_telemetry::Recorder`], so it runs online
+//!    during a simulation or offline over an exported `.events.jsonl`
+//!    trace with identical results.
+//! 2. **Estimators** ([`estimator`], [`model`]): the [`Estimator`] trait
+//!    maps window features to bitrate/FPS/freeze estimates. The
+//!    [`HeuristicEstimator`] is training-free; the [`LinearModel`] is a
+//!    ridge-calibrated correction (fit from campaign runs, frozen as a
+//!    versioned JSON artifact) that learns the FEC discount a passive
+//!    observer cannot see directly.
+//! 3. **Validation** (in `vcabench-harness::infer` and `repro infer`):
+//!    campaigns run with taps attached, estimates are joined per window
+//!    against `stats_api` ground truth, and the accuracy report (error
+//!    CDFs, freeze precision/recall) gates CI.
+
+pub mod estimator;
+pub mod features;
+pub mod model;
+
+pub use estimator::{Estimator, HeuristicEstimator, WindowEstimate};
+pub use features::{
+    Extractor, TapBank, TapSpec, Vantage, WindowFeatures, AUDIO_WIRE, FULL_WIRE, HEADER_BYTES,
+    VIDEO_MIN_WIRE,
+};
+pub use model::{feature_vector, LinearModel, FEATURE_NAMES, MODEL_SCHEMA, NUM_FEATURES};

@@ -360,4 +360,62 @@ mod tests {
         let ratio = d.freeze_ratio(SimDuration::from_secs(10));
         assert!(ratio > 0.08 && ratio < 0.11, "ratio {ratio}");
     }
+
+    #[test]
+    fn gap_exactly_at_threshold_is_not_a_freeze() {
+        // The rule is strict: gap > max(3δ, δ + 150 ms). At 4 fps both δ
+        // (250 ms) and the 3δ threshold (750 ms) are exactly representable
+        // in f64, so a 750 ms gap sits precisely on the boundary.
+        let mut d = FreezeDetector::new(4.0);
+        d.on_frame(SimTime::ZERO);
+        d.on_frame(SimTime::from_micros(750_000));
+        assert_eq!(d.freeze_count, 0, "boundary gap must not count");
+        assert_eq!(d.freeze_time, SimDuration::ZERO);
+        // The boundary gap feeds the EMA like any non-freeze gap:
+        // δ ← 0.95·0.25 + 0.05·0.75 = 0.275 s.
+        assert!((d.avg_frame_duration_ms() - 275.0).abs() < 1e-9);
+        // One microsecond past the boundary is a freeze.
+        let mut d = FreezeDetector::new(4.0);
+        d.on_frame(SimTime::ZERO);
+        d.on_frame(SimTime::from_micros(750_001));
+        assert_eq!(d.freeze_count, 1);
+        // Frozen time is the gap beyond one nominal frame duration, and a
+        // freeze gap must NOT feed the EMA (δ keeps the nominal rate).
+        assert!((d.freeze_time.as_secs_f64() - 0.500_001).abs() < 1e-5);
+        assert!((d.avg_frame_duration_ms() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_frame_only_establishes_the_timeline() {
+        // No gap exists before the first frame: a detector created at t=0
+        // whose first frame lands late must not count a startup freeze —
+        // the paper's rule is over inter-frame gaps of rendered frames.
+        let mut d = FreezeDetector::new(30.0);
+        d.on_frame(SimTime::from_secs(5));
+        assert_eq!(d.frames, 1);
+        assert_eq!(d.freeze_count, 0);
+        assert_eq!(d.freeze_time, SimDuration::ZERO);
+        // δ still carries the initial-fps prior until a second frame
+        // arrives; the gap is then measured from the first frame, and the
+        // frozen time discounts one nominal (prior) frame duration.
+        assert!((d.avg_frame_duration_ms() - 1000.0 / 30.0).abs() < 1e-9);
+        d.on_frame(SimTime::from_secs(6));
+        assert_eq!(d.freeze_count, 1);
+        assert!((d.freeze_time.as_secs_f64() - (1.0 - 1.0 / 30.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn delta_initialization_clamps_degenerate_fps() {
+        // `new(0.0)` must not divide by zero: the fps prior clamps to 1,
+        // so δ starts at one second and the threshold at 3δ = 3 s.
+        let mut d = FreezeDetector::new(0.0);
+        assert!((d.avg_frame_duration_ms() - 1000.0).abs() < 1e-9);
+        d.on_frame(SimTime::ZERO);
+        d.on_frame(SimTime::from_secs(3));
+        assert_eq!(d.freeze_count, 0, "3 s gap is exactly the threshold");
+        let mut d = FreezeDetector::new(0.0);
+        d.on_frame(SimTime::ZERO);
+        d.on_frame(SimTime::from_micros(3_000_001));
+        assert_eq!(d.freeze_count, 1);
+    }
 }

@@ -184,6 +184,9 @@ pub struct RunManifest {
     pub events_total: u64,
     /// Events present in the exported JSONL.
     pub events_stored: u64,
+    /// Events dropped by a bounded ring (`events_total - events_stored`
+    /// for a ring; always 0 for the unbounded logs the export paths use).
+    pub events_dropped: u64,
     /// Per-kind event counts, sorted by kind tag.
     pub event_counts: BTreeMap<String, u64>,
     /// Metrics snapshot derived from the event log.
@@ -200,6 +203,7 @@ impl RunManifest {
             seed,
             events_total: log.total_recorded(),
             events_stored: log.len() as u64,
+            events_dropped: log.dropped_events(),
             event_counts: log
                 .counts()
                 .iter()
@@ -225,6 +229,10 @@ impl RunManifest {
         m.insert("seed".to_string(), Value::U64(self.seed));
         m.insert("events_total".to_string(), Value::U64(self.events_total));
         m.insert("events_stored".to_string(), Value::U64(self.events_stored));
+        m.insert(
+            "events_dropped".to_string(),
+            Value::U64(self.events_dropped),
+        );
         m.insert("event_counts".to_string(), Value::Object(counts));
         m.insert("metrics".to_string(), self.metrics.clone());
         Value::Object(m)
@@ -343,6 +351,7 @@ mod tests {
         let man = RunManifest::for_run("shaped_zoom_s1", "deadbeef", 7, &log);
         assert_eq!(man.events_total, 3);
         assert_eq!(man.events_stored, 3);
+        assert_eq!(man.events_dropped, 0);
         let text = manifest_json(&man);
         let schema_pos = text.find("\"schema\"").unwrap();
         let label_pos = text.find("\"label\"").unwrap();
@@ -352,6 +361,27 @@ mod tests {
         let v: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(7));
         assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn manifest_reports_ring_overflow() {
+        let mut log = EventLog::bounded(2);
+        for i in 0..5 {
+            log.record(
+                SimTime::from_micros(i),
+                EventKind::Fir {
+                    client: 0,
+                    ssrc: 1,
+                    dir: "sent",
+                },
+            );
+        }
+        let man = RunManifest::for_run("ring", "cafe", 1, &log);
+        assert_eq!(man.events_total, 5);
+        assert_eq!(man.events_stored, 2);
+        assert_eq!(man.events_dropped, 3);
+        let text = manifest_json(&man);
+        assert!(text.contains("\"events_dropped\": 3"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Trace import: parse exported `.events.jsonl` lines back into typed
+//! [`Event`]s.
+//!
+//! The export half ([`crate::export`]) turns an [`EventLog`](crate::EventLog)
+//! into JSONL; this module is its inverse, so offline consumers (the
+//! passive-inference subsystem, trace tooling) can replay an artifact
+//! through the exact same [`Recorder`](crate::Recorder) implementations
+//! that run online. Round-tripping is exact: for every event,
+//! `parse_event_line(&ev.to_jsonl_line())` reproduces `ev`.
+//!
+//! String fields in [`EventKind`] are `&'static str` drawn from closed
+//! per-field vocabularies (drop reasons, FIR directions, controller and
+//! state names). The importer interns each incoming string against those
+//! tables and rejects anything outside them — the same closed-schema
+//! stance as [`crate::export::validate_event_line`], but stricter, since
+//! the validator only checks types while replay needs exact vocabulary.
+
+use serde_json::Value;
+use vcabench_simcore::SimTime;
+
+use crate::event::{Event, EventKind};
+
+/// Closed vocabulary for `packet_drop.reason`.
+const REASONS: [&str; 2] = ["impairment", "queue_full"];
+/// Closed vocabulary for `fir.dir`.
+const DIRS: [&str; 2] = ["received", "sent"];
+/// Closed vocabulary for `cc_state.controller`.
+const CONTROLLERS: [&str; 3] = ["fbra", "gcc", "teams"];
+/// Closed vocabulary for `cc_state.state` (union over controllers).
+const STATES: [&str; 11] = [
+    "decay",
+    "decrease",
+    "fall",
+    "hold",
+    "increase",
+    "probe",
+    "probe-hold",
+    "ramp",
+    "recover",
+    "stay",
+    "track",
+];
+/// Closed vocabulary for `cc_state.signal`.
+const SIGNALS: [&str; 3] = ["normal", "overuse", "underuse"];
+
+/// Intern `s` against a sorted vocabulary table, recovering the
+/// `&'static str` the exporter serialized.
+fn intern(table: &[&'static str], s: &str, field: &str) -> Result<&'static str, String> {
+    table
+        .iter()
+        .find(|&&t| t == s)
+        .copied()
+        .ok_or_else(|| format!("unknown `{field}` value `{s}`"))
+}
+
+fn get_u64(v: &Value, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("missing or non-uint field `{field}`"))
+}
+
+fn get_f64(v: &Value, field: &str) -> Result<f64, String> {
+    v.get(field)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| format!("missing or non-numeric field `{field}`"))
+}
+
+fn get_str<'a>(v: &'a Value, field: &str) -> Result<&'a str, String> {
+    v.get(field)
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| format!("missing or non-string field `{field}`"))
+}
+
+/// Parse one JSONL trace line into a typed [`Event`].
+///
+/// Inverse of [`Event::to_jsonl_line`]: the result round-trips back to the
+/// same bytes. Unknown kinds, missing fields, and out-of-vocabulary string
+/// values are errors.
+pub fn parse_event_line(line: &str) -> Result<Event, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("line is not a JSON object".to_string());
+    }
+    let at = SimTime::from_micros(get_u64(&v, "t")?);
+    let kind_tag = get_str(&v, "kind")?;
+    let kind = match kind_tag {
+        "packet_enqueue" => EventKind::PacketEnqueued {
+            link: get_u64(&v, "link")?,
+            flow: get_u64(&v, "flow")?,
+            pkt: get_u64(&v, "pkt")?,
+            bytes: get_u64(&v, "bytes")?,
+            queue_bytes: get_u64(&v, "queue_bytes")?,
+            queue_pkts: get_u64(&v, "queue_pkts")?,
+        },
+        "packet_dequeue" => EventKind::PacketDequeued {
+            link: get_u64(&v, "link")?,
+            flow: get_u64(&v, "flow")?,
+            pkt: get_u64(&v, "pkt")?,
+            bytes: get_u64(&v, "bytes")?,
+            queue_bytes: get_u64(&v, "queue_bytes")?,
+        },
+        "packet_drop" => EventKind::PacketDropped {
+            link: get_u64(&v, "link")?,
+            flow: get_u64(&v, "flow")?,
+            pkt: get_u64(&v, "pkt")?,
+            bytes: get_u64(&v, "bytes")?,
+            queue_bytes: get_u64(&v, "queue_bytes")?,
+            reason: intern(&REASONS, get_str(&v, "reason")?, "reason")?,
+        },
+        "rate_step" => EventKind::RateStep {
+            link: get_u64(&v, "link")?,
+            bps: get_f64(&v, "bps")?,
+        },
+        "cc_state" => EventKind::CcState {
+            client: get_u64(&v, "client")?,
+            controller: intern(&CONTROLLERS, get_str(&v, "controller")?, "controller")?,
+            state: intern(&STATES, get_str(&v, "state")?, "state")?,
+            signal: match v.get("signal") {
+                None | Some(Value::Null) => None,
+                Some(Value::String(s)) => Some(intern(&SIGNALS, s, "signal")?),
+                Some(other) => {
+                    return Err(format!("field `signal` has kind {}", other.kind()));
+                }
+            },
+            target_mbps: get_f64(&v, "target_mbps")?,
+        },
+        "fec_ratio" => EventKind::FecRatio {
+            client: get_u64(&v, "client")?,
+            fraction: get_f64(&v, "fraction")?,
+            fec_per_media: get_f64(&v, "fec_per_media")?,
+        },
+        "layer_switch" => EventKind::LayerSwitch {
+            client: get_u64(&v, "client")?,
+            streams: get_u64(&v, "streams")?,
+            top_width: get_u64(&v, "top_width")?,
+            top_fps: get_f64(&v, "top_fps")?,
+        },
+        "fir" => EventKind::Fir {
+            client: get_u64(&v, "client")?,
+            ssrc: get_u64(&v, "ssrc")?,
+            dir: intern(&DIRS, get_str(&v, "dir")?, "dir")?,
+        },
+        "freeze" => EventKind::Freeze {
+            client: get_u64(&v, "client")?,
+            sender: get_u64(&v, "sender")?,
+            count: get_u64(&v, "count")?,
+            total_ms: get_f64(&v, "total_ms")?,
+        },
+        "invariant_violation" => EventKind::InvariantViolation {
+            invariant: get_str(&v, "invariant")?.to_string(),
+            detail: get_str(&v, "detail")?.to_string(),
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(Event { at, kind })
+}
+
+/// Parse a whole JSONL document, feeding each event into `sink` in order.
+///
+/// Returns the number of events delivered. Errors carry the 1-based line
+/// number; timestamps must be non-decreasing, matching the export
+/// contract. Streaming: one event is materialized at a time, never the
+/// whole document.
+pub fn replay_jsonl(text: &str, sink: &mut dyn crate::Recorder) -> Result<u64, String> {
+    let mut n = 0u64;
+    let mut last_t = SimTime::ZERO;
+    for (i, line) in text.lines().enumerate() {
+        let ev = parse_event_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if ev.at < last_t {
+            return Err(format!(
+                "line {}: timestamp {} goes backwards",
+                i + 1,
+                ev.at.as_micros()
+            ));
+        }
+        last_t = ev.at;
+        sink.record(ev.at, ev.kind);
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{EventLog, Recorder};
+
+    fn round_trip(ev: Event) {
+        let line = ev.to_jsonl_line();
+        let back = parse_event_line(&line).expect("parse back");
+        assert_eq!(back, ev, "round trip changed the event: {line}");
+        assert_eq!(back.to_jsonl_line(), line, "bytes changed");
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let at = SimTime::from_millis(1500);
+        let kinds = vec![
+            EventKind::PacketEnqueued {
+                link: 0,
+                flow: 10,
+                pkt: 1,
+                bytes: 1140,
+                queue_bytes: 2280,
+                queue_pkts: 2,
+            },
+            EventKind::PacketDequeued {
+                link: 1,
+                flow: 11,
+                pkt: 2,
+                bytes: 168,
+                queue_bytes: 0,
+            },
+            EventKind::PacketDropped {
+                link: 4,
+                flow: 10,
+                pkt: 3,
+                bytes: 1140,
+                queue_bytes: 65_536,
+                reason: "queue_full",
+            },
+            EventKind::RateStep { link: 0, bps: 5e5 },
+            EventKind::CcState {
+                client: 0,
+                controller: "gcc",
+                state: "decrease",
+                signal: Some("overuse"),
+                target_mbps: 0.75,
+            },
+            EventKind::CcState {
+                client: 1,
+                controller: "fbra",
+                state: "probe-hold",
+                signal: None,
+                target_mbps: 1.25,
+            },
+            EventKind::FecRatio {
+                client: 0,
+                fraction: 0.3,
+                fec_per_media: 0.42857142857142855,
+            },
+            EventKind::LayerSwitch {
+                client: 0,
+                streams: 3,
+                top_width: 1280,
+                top_fps: 25.0,
+            },
+            EventKind::Fir {
+                client: 1,
+                ssrc: 5,
+                dir: "sent",
+            },
+            EventKind::Freeze {
+                client: 1,
+                sender: 0,
+                count: 2,
+                total_ms: 612.5,
+            },
+            EventKind::InvariantViolation {
+                invariant: "queue_bound".to_string(),
+                detail: "q=70000 > 65536".to_string(),
+            },
+        ];
+        for kind in kinds {
+            round_trip(Event { at, kind });
+        }
+    }
+
+    #[test]
+    fn interning_recovers_static_vocab() {
+        let ev =
+            parse_event_line("{\"t\":1,\"kind\":\"fir\",\"client\":0,\"ssrc\":5,\"dir\":\"sent\"}")
+                .unwrap();
+        match ev.kind {
+            EventKind::Fir { dir, .. } => assert_eq!(dir, "sent"),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_vocabulary_strings() {
+        let cases = [
+            "{\"t\":1,\"kind\":\"fir\",\"client\":0,\"ssrc\":5,\"dir\":\"upward\"}",
+            "{\"t\":1,\"kind\":\"packet_drop\",\"link\":0,\"flow\":1,\"pkt\":2,\
+             \"bytes\":3,\"queue_bytes\":4,\"reason\":\"cosmic_ray\"}",
+            "{\"t\":1,\"kind\":\"cc_state\",\"client\":0,\"controller\":\"bbr\",\
+             \"state\":\"hold\",\"signal\":null,\"target_mbps\":1}",
+            "{\"t\":1,\"kind\":\"cc_state\",\"client\":0,\"controller\":\"gcc\",\
+             \"state\":\"panic\",\"signal\":null,\"target_mbps\":1}",
+            "{\"t\":1,\"kind\":\"cc_state\",\"client\":0,\"controller\":\"gcc\",\
+             \"state\":\"hold\",\"signal\":\"chaos\",\"target_mbps\":1}",
+        ];
+        for line in cases {
+            assert!(parse_event_line(line).is_err(), "accepted: {line}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_event_line("not json").is_err());
+        assert!(parse_event_line("[1]").is_err());
+        assert!(parse_event_line("{\"t\":1,\"kind\":\"no_such_kind\"}").is_err());
+        assert!(parse_event_line("{\"kind\":\"fir\"}").is_err(), "missing t");
+    }
+
+    #[test]
+    fn replay_feeds_a_recorder_and_enforces_order() {
+        let mut log = EventLog::unbounded();
+        log.record(
+            SimTime::from_micros(1),
+            EventKind::RateStep { link: 0, bps: 1e6 },
+        );
+        log.record(
+            SimTime::from_micros(2),
+            EventKind::Fir {
+                client: 0,
+                ssrc: 1,
+                dir: "received",
+            },
+        );
+        let text = crate::export::events_jsonl(&log);
+
+        let mut replayed = EventLog::unbounded();
+        let n = replay_jsonl(&text, &mut replayed).unwrap();
+        assert_eq!(n, 2);
+        let orig: Vec<Event> = log.events().cloned().collect();
+        let back: Vec<Event> = replayed.events().cloned().collect();
+        assert_eq!(orig, back);
+
+        let bad = "{\"t\":5,\"kind\":\"fir\",\"client\":0,\"ssrc\":1,\"dir\":\"sent\"}\n\
+                   {\"t\":4,\"kind\":\"fir\",\"client\":0,\"ssrc\":1,\"dir\":\"sent\"}\n";
+        let mut sink = crate::recorder::NullRecorder;
+        let err = replay_jsonl(bad, &mut sink).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+}

@@ -28,6 +28,11 @@
 //! 5. **Export** ([`export`]): a versioned JSONL event-trace format
 //!    (schema [`TRACE_SCHEMA_VERSION`]), CSV time series, a per-run
 //!    manifest, and a line validator used by `repro validate-trace` and CI.
+//! 6. **Import** ([`import`]): the exact inverse of export — parse
+//!    `.events.jsonl` lines back into typed [`Event`]s (vocabulary
+//!    interned to the original `&'static str`s) and replay them through
+//!    any [`Recorder`], so offline consumers see the same stream as
+//!    online ones.
 //!
 //! Determinism is a hard requirement: identical spec + seed must produce
 //! byte-identical JSONL regardless of worker count. Everything here is
@@ -38,6 +43,7 @@
 
 pub mod event;
 pub mod export;
+pub mod import;
 pub mod metrics;
 pub mod profiler;
 pub mod recorder;
@@ -46,6 +52,7 @@ pub use event::{Event, EventKind};
 pub use export::{
     events_jsonl, manifest_json, series_csv, validate_event_line, validate_jsonl, RunManifest,
 };
+pub use import::{parse_event_line, replay_jsonl};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profiler::Profiler;
 pub use recorder::{EventLog, NullRecorder, Recorder, Telemetry};

@@ -82,6 +82,14 @@ impl EventLog {
         self.evicted
     }
 
+    /// Events dropped by the ring bound — the public name for
+    /// [`EventLog::evicted`]. A bounded log silently overwrites its oldest
+    /// entries; exporters surface this so a truncated trace is never
+    /// mistaken for a complete one.
+    pub fn dropped_events(&self) -> u64 {
+        self.evicted
+    }
+
     /// Total events ever recorded (held + evicted).
     pub fn total_recorded(&self) -> u64 {
         self.events.len() as u64 + self.evicted
@@ -190,10 +198,41 @@ mod tests {
         }
         assert_eq!(log.len(), 3);
         assert_eq!(log.evicted(), 2);
+        assert_eq!(log.dropped_events(), 2);
         assert_eq!(log.total_recorded(), 5);
         assert_eq!(log.count("fir"), 5);
         let held: Vec<u64> = log.events().map(|e| e.at.as_micros()).collect();
         assert_eq!(held, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn unbounded_log_never_drops() {
+        let mut log = EventLog::unbounded();
+        for i in 0..1000 {
+            log.record(SimTime::from_micros(i), fir(i));
+        }
+        assert_eq!(log.len(), 1000);
+        assert_eq!(log.dropped_events(), 0);
+        assert_eq!(log.total_recorded(), 1000);
+    }
+
+    #[test]
+    fn overflow_drops_exactly_the_excess_and_keeps_order() {
+        let cap = 4;
+        let mut log = EventLog::bounded(cap);
+        // Exactly at capacity: nothing dropped yet.
+        for i in 0..cap as u64 {
+            log.record(SimTime::from_micros(i), fir(i));
+        }
+        assert_eq!(log.dropped_events(), 0);
+        // One past capacity drops exactly one — the oldest.
+        log.record(SimTime::from_micros(99), fir(99));
+        assert_eq!(log.dropped_events(), 1);
+        assert_eq!(log.len(), cap);
+        let first = log.events().next().unwrap().at.as_micros();
+        assert_eq!(first, 1, "oldest event was the one dropped");
+        // Counts keep reflecting the full history.
+        assert_eq!(log.count("fir"), cap as u64 + 1);
     }
 
     #[test]

@@ -173,6 +173,11 @@ pub struct VcaClient {
     pub stats: StatsCollector,
     /// FIRs received from remotes about this client's upstream (Fig 3b).
     pub firs_received: u64,
+    /// Cumulative video media payload bytes handed to the pacer
+    /// (passive-inference ground truth; excludes FEC/audio/headers).
+    send_media_bytes: u64,
+    /// Cumulative non-FEC video payload bytes received (ground truth).
+    recv_media_bytes: u64,
     max_requested_width: u32,
     call_size: u32,
     base_nominal: f64,
@@ -250,6 +255,8 @@ impl VcaClient {
             render: HashMap::new(),
             stats: StatsCollector::new(),
             firs_received: 0,
+            send_media_bytes: 0,
+            recv_media_bytes: 0,
             max_requested_width: 640,
             call_size: 2,
             base_nominal,
@@ -397,6 +404,7 @@ impl VcaClient {
         };
         let frame_id = self.send_states[stream].next_frame();
         let ssrc = self.send_states[stream].ssrc;
+        self.send_media_bytes += frame.bytes as u64;
         let pkts = frame.bytes.div_ceil(RTP_PAYLOAD).max(1) as u16;
         let mut remaining = frame.bytes;
         for p in 0..pkts {
@@ -604,6 +612,9 @@ impl VcaClient {
             freeze_count,
             firs_sent,
             firs_received: self.firs_received,
+            send_media_bytes: self.send_media_bytes,
+            recv_media_bytes: self.recv_media_bytes,
+            frames_decoded: self.render.values().map(|r| r.frames_total).sum(),
         });
         ctx.set_timer_after(SimDuration::from_secs(1), TIMER_STATS);
     }
@@ -644,6 +655,7 @@ impl VcaClient {
         if rtp.kind != StreamKind::Video || rtp.is_fec {
             return;
         }
+        self.recv_media_bytes += pkt.size.saturating_sub(RTP_HEADER + UDP_OVERHEAD) as u64;
         if let Some(m) = rtp.meta {
             rs.last_meta = Some(m);
         }

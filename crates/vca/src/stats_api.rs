@@ -36,6 +36,17 @@ pub struct StatsSample {
     /// Cumulative FIRs received from remotes about this client's upstream
     /// (the Fig 3b metric, measured at the constrained sender).
     pub firs_received: u64,
+    /// Cumulative video media payload bytes handed to the pacer (excludes
+    /// FEC, audio, RTP/UDP headers). Passive-inference ground truth for
+    /// the send-side media bitrate.
+    pub send_media_bytes: u64,
+    /// Cumulative non-FEC video payload bytes received (excludes headers).
+    /// Passive-inference ground truth for the receive-side media bitrate.
+    pub recv_media_bytes: u64,
+    /// Cumulative frames decoded across *all* remote senders (`recv_fps`
+    /// covers only the primary rendered remote; the aggregate is what a
+    /// passive observer of the whole downlink can be scored against).
+    pub frames_decoded: u64,
 }
 
 /// Accumulates per-second samples for one client.
@@ -117,6 +128,25 @@ impl StatsCollector {
             _ => 0,
         }
     }
+
+    /// Delta of a cumulative counter over `(from, to]`: the projected value
+    /// at the last sample with `t <= to` minus its value at the last sample
+    /// with `t <= from`. Unlike [`StatsCollector::between`]-based helpers
+    /// this works for windows as short as one sampling interval, which is
+    /// what the passive-inference join uses (per-second windows against
+    /// per-second samples). Returns `None` when either endpoint has no
+    /// sample at or before it.
+    pub fn counter_delta<F: Fn(&StatsSample) -> u64>(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        f: F,
+    ) -> Option<u64> {
+        let at_or_before = |t: SimTime| self.samples.iter().rev().find(|s| s.t <= t);
+        let a = at_or_before(from)?;
+        let b = at_or_before(to)?;
+        Some(f(b).saturating_sub(f(a)))
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +167,9 @@ mod tests {
             freeze_count: freeze_s,
             firs_sent: firs,
             firs_received: 0,
+            send_media_bytes: t_s * 1000,
+            recv_media_bytes: t_s * 500,
+            frames_decoded: t_s * 30,
         }
     }
 
@@ -214,6 +247,35 @@ mod tests {
             0.0
         );
         assert_eq!(empty.firs_between(SimTime::ZERO, SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn counter_delta_spans_short_windows() {
+        let mut c = StatsCollector::new();
+        for t in 1..=10 {
+            c.push(sample(t, 0, 0));
+        }
+        // One-second window: delta between adjacent samples.
+        let d = c.counter_delta(SimTime::from_secs(3), SimTime::from_secs(4), |s| {
+            s.send_media_bytes
+        });
+        assert_eq!(d, Some(1000));
+        let frames = c.counter_delta(SimTime::from_secs(1), SimTime::from_secs(10), |s| {
+            s.frames_decoded
+        });
+        assert_eq!(frames, Some(9 * 30));
+        // No sample at or before the left endpoint.
+        assert_eq!(
+            c.counter_delta(SimTime::ZERO, SimTime::from_secs(4), |s| s.frames_decoded),
+            None
+        );
+        // Endpoints between samples snap to the last sample at or before.
+        let d = c.counter_delta(
+            SimTime::from_secs_f64(3.5),
+            SimTime::from_secs_f64(4.5),
+            |s| s.recv_media_bytes,
+        );
+        assert_eq!(d, Some(500));
     }
 
     #[test]

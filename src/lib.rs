@@ -48,7 +48,8 @@
 //! | [`stats`] | medians/CIs, time-to-recovery, link shares |
 //! | [`campaign`] | declarative scenario specs, parallel executor, result cache |
 //! | [`telemetry`] | deterministic event tracing, metrics, trace export, profiler |
-//! | [`harness`] | one module per paper table/figure |
+//! | [`infer`] | passive QoE inference from packet traces (features, estimators) |
+//! | [`harness`] | one module per paper table/figure, plus inference validation |
 //! | `bench` | pinned engine benchmarks, the perf gate, and the `repro` binary |
 //!
 //! Reproduce everything: `cargo run --release -p vcabench-bench --bin repro -- all`.
@@ -60,6 +61,7 @@ pub use vcabench_apps as apps;
 pub use vcabench_campaign as campaign;
 pub use vcabench_congestion as congestion;
 pub use vcabench_harness as harness;
+pub use vcabench_infer as infer;
 pub use vcabench_media as media;
 pub use vcabench_netsim as netsim;
 pub use vcabench_simcore as simcore;
@@ -75,9 +77,10 @@ pub mod prelude {
     };
     pub use vcabench_harness::{
         run_campaign, run_campaign_cached, run_campaign_cached_traced, run_competition,
-        run_multiparty, run_spec, run_spec_traced, run_two_party, CompetitionConfig, Competitor,
-        TwoPartyOutcome,
+        run_multiparty, run_spec, run_spec_infer, run_spec_traced, run_two_party,
+        CompetitionConfig, Competitor, TwoPartyOutcome,
     };
+    pub use vcabench_infer::{Estimator, HeuristicEstimator, LinearModel, TapBank, Vantage};
     pub use vcabench_netsim::{LinkConfig, Network, RateProfile};
     pub use vcabench_simcore::{SimDuration, SimRng, SimTime};
     pub use vcabench_telemetry::{EventKind, EventLog, Telemetry};
