@@ -6,7 +6,9 @@
 //! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]
 //! repro bench [--quick] [--baseline <file>] [--out <dir>] [--label <name>] [--threshold <x>]
 //! repro infer [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] [--fit <model.json>]
-//!             [--max-bitrate-err <x>] [--min-freeze-recall <x>]
+//!             [--max-bitrate-err <x>] [--min-freeze-recall <x>] [--identify]
+//! repro identify [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>]
+//!                [--fit <model.json>] [--min-id-accuracy <x>]
 //! repro validate-trace <file.jsonl>...
 //! repro --profile [--quick]
 //! ```
@@ -24,6 +26,11 @@
 //! `infer` runs the passive-QoE-inference validation harness over the
 //! pinned suite (or a campaign spec's expanded runs) and exits nonzero if
 //! the calibrated estimator's accuracy regresses past the gates;
+//! `infer --identify` instead routes every run through the flow-level
+//! classifier to select the per-VCA model and gates the routed accuracy
+//! against the spec-routed reference;
+//! `identify` runs the flow-level VCA identification harness and exits
+//! nonzero if the frozen centroid model's accuracy misses the gate;
 //! `--profile` prints a wall-clock profile of the simulation engine.
 
 use std::io::Write;
@@ -88,7 +95,12 @@ fn print_help() {
         "       repro infer [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] \
          [--fit <model.json>]"
     );
-    println!("                   [--max-bitrate-err <x>] [--min-freeze-recall <x>]");
+    println!("                   [--max-bitrate-err <x>] [--min-freeze-recall <x>] [--identify]");
+    println!(
+        "       repro identify [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] \
+         [--fit <model.json>]"
+    );
+    println!("                   [--min-id-accuracy <x>]");
     println!("       repro validate-trace <file.jsonl>...");
     println!("       repro --profile [--quick]");
     println!();
@@ -111,6 +123,13 @@ fn print_help() {
     println!("                        the estimates are scored against the stats-API");
     println!("                        ground truth; exit 1 if the calibrated estimator");
     println!("                        misses the accuracy gates");
+    println!("  identify [<campaign.json>]");
+    println!("                        run the flow-level VCA identification harness:");
+    println!("                        every scenario runs with the fingerprint bank");
+    println!("                        attached and both classifiers are scored against");
+    println!("                        the spec ground truth (confusion matrix, per-VCA");
+    println!("                        precision/recall); exit 1 if the frozen centroid");
+    println!("                        model misses the accuracy gate");
     println!("  validate-trace <file.jsonl>...");
     println!("                        validate JSONL event traces against the");
     println!("                        telemetry schema (exit 1 on any violation)");
@@ -134,9 +153,24 @@ fn print_help() {
     );
     println!("  --trace-dir <dir>  (campaign only) write per-run telemetry artifacts");
     println!("                     (<label>.events.jsonl / .series.csv / .manifest.json)");
-    println!("  --fit <model.json> (infer only) fit a fresh calibration model from the");
-    println!("                     joined windows, write it to <model.json>, and score");
-    println!("                     with it instead of the built-in model");
+    println!("  --fit <model.json> (infer) fit a fresh calibration model from the joined");
+    println!("                     windows, write it to <model.json>, and score with it");
+    println!("                     instead of the built-in model; with --identify, fit");
+    println!("                     the per-VCA model bundle instead. (identify) fit a");
+    println!("                     centroid classifier over the pinned training campaign,");
+    println!("                     write it to <model.json>, and score with it");
+    println!("  --identify         (infer only) route every run through the flow-level");
+    println!("                     classifier to select the per-VCA calibrated model");
+    println!("                     instead of reading the kind from the spec; gates the");
+    println!(
+        "                     routed-vs-spec-routed bitrate-error delta (max {:.2})",
+        vcabench_harness::DEFAULT_MAX_ROUTED_DELTA
+    );
+    println!(
+        "  --min-id-accuracy <x>   (identify only) gate: min identification accuracy \
+         (default {:.2})",
+        vcabench_harness::DEFAULT_MIN_ID_ACCURACY
+    );
     println!(
         "  --max-bitrate-err <x>   (infer only) gate: max pooled median relative \
          bitrate error (default {:.2})",
@@ -168,6 +202,8 @@ struct Args {
     fit: Option<String>,
     max_bitrate_err: Option<f64>,
     min_freeze_recall: Option<f64>,
+    identify: bool,
+    min_id_accuracy: Option<f64>,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -191,12 +227,15 @@ fn parse_args() -> Args {
     let mut fit = None;
     let mut max_bitrate_err = None;
     let mut min_freeze_recall = None;
+    let mut identify = false;
+    let mut min_id_accuracy = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--rerun" => rerun = true,
             "--profile" => profile = true,
+            "--identify" => identify = true,
             "--trace-dir" => {
                 trace_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| {
                     usage_error("--trace-dir requires a directory argument")
@@ -266,6 +305,18 @@ fn parse_args() -> Args {
                 }
                 min_freeze_recall = Some(x);
             }
+            "--min-id-accuracy" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--min-id-accuracy requires a number argument"));
+                let x: f64 = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--min-id-accuracy expects a number, got `{v}`"))
+                });
+                if !(0.0..=1.0).contains(&x) {
+                    usage_error("--min-id-accuracy must be within [0, 1]");
+                }
+                min_id_accuracy = Some(x);
+            }
             "--jobs" => {
                 let v = it
                     .next()
@@ -319,7 +370,7 @@ fn parse_args() -> Args {
         None
     } else if experiment == "profile" {
         None
-    } else if experiment == "infer" {
+    } else if experiment == "infer" || experiment == "identify" {
         match positionals.len() {
             1 => None,
             2 => Some(positionals[1].clone()),
@@ -350,16 +401,28 @@ fn parse_args() -> Args {
             usage_error("--label only applies to the bench subcommand");
         }
     }
+    if experiment != "infer" && experiment != "identify" && fit.is_some() {
+        usage_error("--fit only applies to the infer and identify subcommands");
+    }
     if experiment != "infer" {
-        if fit.is_some() {
-            usage_error("--fit only applies to the infer subcommand");
-        }
         if max_bitrate_err.is_some() {
             usage_error("--max-bitrate-err only applies to the infer subcommand");
         }
         if min_freeze_recall.is_some() {
             usage_error("--min-freeze-recall only applies to the infer subcommand");
         }
+        if identify {
+            usage_error("--identify only applies to the infer subcommand");
+        }
+    }
+    if experiment != "identify" && min_id_accuracy.is_some() {
+        usage_error("--min-id-accuracy only applies to the identify subcommand");
+    }
+    if identify && (max_bitrate_err.is_some() || min_freeze_recall.is_some()) {
+        usage_error(
+            "--max-bitrate-err/--min-freeze-recall gate the spec-routed report; \
+             with --identify use the routed-delta gate instead",
+        );
     }
     Args {
         experiment,
@@ -378,6 +441,8 @@ fn parse_args() -> Args {
         fit,
         max_bitrate_err,
         min_freeze_recall,
+        identify,
+        min_id_accuracy,
     }
 }
 
@@ -532,6 +597,9 @@ fn run_infer_command(args: &Args) -> ! {
             suite.into_iter().map(|s| (s.name, s.spec)).collect()
         }
     };
+    if args.identify {
+        run_infer_identify(args, &scenarios);
+    }
     let rows = vcabench_harness::infer_suite(&scenarios, args.jobs);
     let model = match &args.fit {
         Some(path) => {
@@ -595,6 +663,152 @@ fn run_infer_command(args: &Args) -> ! {
     std::process::exit(1);
 }
 
+/// The `infer --identify` path: route every run through the flow-level
+/// classifier, score the identified-routing comparison against the
+/// spec-routed reference, and gate on the pooled-median delta.
+fn run_infer_identify(args: &Args, scenarios: &[(String, vcabench_campaign::ScenarioSpec)]) -> ! {
+    let runs = vcabench_harness::infer_identify_suite(scenarios, args.jobs);
+    let models = match &args.fit {
+        Some(path) => {
+            let models = vcabench_harness::fit_kind_models(scenarios, &runs);
+            std::fs::write(path, models.to_json()).unwrap_or_else(|e| {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("fitted per-VCA model bundle -> {path}");
+            models
+        }
+        None => vcabench_infer::KindModels::builtin(),
+    };
+    let classifier = vcabench_fingerprint::CentroidModel::builtin();
+    let report = vcabench_harness::routed_report(scenarios, &runs, &models, &classifier);
+    print!("{}", vcabench_harness::render_routed_report(&report));
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("infer-results"));
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    });
+    let artifact = out_dir.join("ROUTED_report.json");
+    std::fs::write(&artifact, vcabench_harness::routed_report_json(&report)).unwrap_or_else(|e| {
+        eprintln!("repro: cannot write {}: {e}", artifact.display());
+        std::process::exit(1);
+    });
+    println!("wrote {}", artifact.display());
+    let max_delta = vcabench_harness::DEFAULT_MAX_ROUTED_DELTA;
+    let delta_ok = report.delta <= max_delta;
+    println!(
+        "gate: routed delta {:+.2}pp (max {:+.2}pp) {}",
+        report.delta * 100.0,
+        max_delta * 100.0,
+        if delta_ok { "OK" } else { "FAIL" }
+    );
+    if delta_ok {
+        println!("infer --identify gate: PASS");
+        std::process::exit(0);
+    }
+    println!("infer --identify gate: FAIL");
+    std::process::exit(1);
+}
+
+fn run_identify_command(args: &Args) -> ! {
+    // Scenario list mirrors `infer`: a campaign spec's expanded runs, or
+    // the pinned benchmark suite.
+    let scenarios: Vec<(String, vcabench_campaign::ScenarioSpec)> = match &args.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("repro: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let campaign = CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("repro: {path}: {e}");
+                std::process::exit(1);
+            });
+            let runs = campaign.expand().unwrap_or_else(|e| {
+                eprintln!("repro: campaign `{}`: {e}", campaign.name);
+                std::process::exit(1);
+            });
+            println!(
+                "identify: campaign `{}`, {} runs, {} job(s)",
+                campaign.name,
+                runs.len(),
+                args.jobs
+            );
+            runs.into_iter().map(|r| (r.label, r.spec)).collect()
+        }
+        None => {
+            let suite = vcabench_bench::scenario::pinned(args.quick);
+            println!(
+                "identify: pinned suite ({} scenarios, {} mode), {} job(s)",
+                suite.len(),
+                if args.quick { "quick" } else { "full" },
+                args.jobs
+            );
+            suite.into_iter().map(|s| (s.name, s.spec)).collect()
+        }
+    };
+    let model = match &args.fit {
+        Some(path) => {
+            let train = vcabench_harness::training_suite(args.quick);
+            println!(
+                "fit: pinned training campaign ({} scenarios, {} mode)",
+                train.len(),
+                if args.quick { "quick" } else { "full" }
+            );
+            let rows = vcabench_harness::fingerprint_suite(&train, args.jobs);
+            let model = vcabench_harness::fit_centroid(&rows).unwrap_or_else(|| {
+                eprintln!("repro: centroid fit failed (a family has no training rows)");
+                std::process::exit(1);
+            });
+            std::fs::write(path, model.to_json()).unwrap_or_else(|e| {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("fitted centroid model -> {path}");
+            model
+        }
+        None => vcabench_fingerprint::CentroidModel::builtin(),
+    };
+    let rows = vcabench_harness::fingerprint_suite(&scenarios, args.jobs);
+    let report = vcabench_harness::build_identify_report(&rows, &model);
+    print!("{}", vcabench_harness::render_identify_report(&report));
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("identify-results"));
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    });
+    let artifact = out_dir.join("IDENTIFY_report.json");
+    std::fs::write(&artifact, vcabench_harness::identify_report_json(&report)).unwrap_or_else(
+        |e| {
+            eprintln!("repro: cannot write {}: {e}", artifact.display());
+            std::process::exit(1);
+        },
+    );
+    println!("wrote {}", artifact.display());
+    // The gate applies to the frozen (or just-fitted) centroid model;
+    // the rule classifier is reported for comparison only.
+    let min_acc = args
+        .min_id_accuracy
+        .unwrap_or(vcabench_harness::DEFAULT_MIN_ID_ACCURACY);
+    let acc = report.centroid_accuracy();
+    let ok = acc >= min_acc;
+    println!(
+        "gate: centroid identification accuracy {acc:.3} (min {min_acc:.2}) {}",
+        if ok { "OK" } else { "FAIL" }
+    );
+    if ok {
+        println!("identify gate: PASS");
+        std::process::exit(0);
+    }
+    println!("identify gate: FAIL");
+    std::process::exit(1);
+}
+
 fn run_validate_trace_command(args: &Args) -> ! {
     let mut failed = false;
     for path in &args.trace_paths {
@@ -643,6 +857,9 @@ fn main() {
     }
     if args.experiment == "infer" {
         run_infer_command(&args);
+    }
+    if args.experiment == "identify" {
+        run_identify_command(&args);
     }
     let mut json_out = args.json.as_ref().map(|_| serde_json::Map::new());
     let all = args.experiment == "all";

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use vcabench_harness::{run_spec_infer_metered, run_spec_metered};
+use vcabench_harness::{run_spec_fingerprint_metered, run_spec_infer_metered, run_spec_metered};
 use vcabench_netsim::EngineStats;
 use vcabench_telemetry::Telemetry;
 
@@ -16,11 +16,15 @@ use crate::report::ScenarioResult;
 use crate::scenario::BenchScenario;
 
 /// Run one scenario and time it. Inference-stage scenarios run through
-/// [`run_spec_infer_metered`] instead, with the passive tap bank attached.
+/// [`run_spec_infer_metered`] instead, with the passive tap bank attached;
+/// identification-stage scenarios through [`run_spec_fingerprint_metered`],
+/// with the fingerprint accumulators attached.
 pub fn measure(sc: &BenchScenario) -> ScenarioResult {
     let t0 = Instant::now();
     let engine = if sc.infer {
         run_spec_infer_metered(&sc.spec).1
+    } else if sc.identify {
+        run_spec_fingerprint_metered(&sc.spec).1
     } else {
         run_spec_metered(&sc.spec, &Telemetry::disabled()).1
     };

@@ -28,6 +28,10 @@ pub struct BenchScenario {
     /// `vcabench-infer` tap bank); measures the streaming-extraction
     /// overhead on top of the plain engine hot path.
     pub infer: bool,
+    /// Run with the flow-level fingerprint bank attached (the
+    /// `vcabench-fingerprint` accumulators); measures the classifier
+    /// feature-extraction overhead on top of the plain engine hot path.
+    pub identify: bool,
 }
 
 /// All three VCA kinds in pinned order.
@@ -52,6 +56,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             }),
             sim_secs: duration_secs,
             infer: false,
+            identify: false,
         });
     }
     for kind in KINDS {
@@ -74,6 +79,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             }),
             sim_secs: total,
             infer: false,
+            identify: false,
         });
     }
     for kind in KINDS {
@@ -90,6 +96,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             }),
             sim_secs: duration_secs,
             infer: false,
+            identify: false,
         });
     }
     // The inference-stage scenario: a shaped two-party Zoom call (FEC-heavy
@@ -108,6 +115,27 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
         }),
         sim_secs: duration_secs,
         infer: true,
+        identify: false,
+    });
+    // The identification-stage scenario: a mixed-shaping two-party Teams
+    // call (uplink throttled, downlink open — the two flow accumulators
+    // see very different traffic) run with the fingerprint bank attached,
+    // so the benchmark gate tracks the classifier's feature-extraction
+    // overhead too.
+    let duration_secs = if quick { 10.0 } else { 30.0 };
+    out.push(BenchScenario {
+        name: "identify_two_party_mixed".to_string(),
+        spec: ScenarioSpec::TwoParty(TwoPartySpec {
+            kind: VcaKind::Teams,
+            up: RateProfile::constant_mbps(0.7),
+            down: RateProfile::constant_mbps(1000.0),
+            duration_secs,
+            seed: 1,
+            knobs: None,
+        }),
+        sim_secs: duration_secs,
+        infer: false,
+        identify: true,
     });
     out
 }
@@ -120,7 +148,7 @@ mod tests {
     fn suite_is_pinned_and_valid() {
         for quick in [false, true] {
             let suite = pinned(quick);
-            assert_eq!(suite.len(), 10);
+            assert_eq!(suite.len(), 11);
             let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
             assert_eq!(
                 names,
@@ -135,6 +163,7 @@ mod tests {
                     "multiparty_meet",
                     "multiparty_teams",
                     "infer_two_party_zoom",
+                    "identify_two_party_mixed",
                 ]
             );
             for s in &suite {
@@ -148,6 +177,16 @@ mod tests {
                 .map(|s| s.name.as_str())
                 .collect();
             assert_eq!(infer, ["infer_two_party_zoom"]);
+            // ... and exactly one the identification stage.
+            let identify: Vec<&str> = suite
+                .iter()
+                .filter(|s| s.identify)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(identify, ["identify_two_party_mixed"]);
+            // No scenario runs both banks: the two overhead measurements
+            // must stay attributable.
+            assert!(suite.iter().all(|s| !(s.infer && s.identify)));
         }
     }
 

@@ -1,0 +1,656 @@
+//! Streaming, single-pass fingerprint accumulation from packet-level
+//! telemetry.
+//!
+//! A [`FlowAccumulator`] watches one tap — a `(link, flow)` pair plus a
+//! [`Vantage`] — and folds the packet events that cross it into one
+//! call-level [`FlowFingerprint`]. It implements
+//! [`vcabench_telemetry::Recorder`], so the same code runs *online*
+//! (attached to a live simulation through a
+//! [`vcabench_telemetry::Telemetry`] handle) and *offline* (fed from an
+//! exported `.events.jsonl` trace via
+//! [`vcabench_telemetry::replay_jsonl`]); both paths see the identical
+//! event stream and therefore produce identical fingerprints.
+//!
+//! Unlike `vcabench-infer`, which estimates per-second QoE, this stage
+//! answers a prior question: *which application is this flow?* The
+//! observables are the ones MacMillan et al. and the header-free
+//! classification literature lean on:
+//!
+//! - **Packet-size histogram by size class** — audio/RTCP vs video
+//!   bands vs full-MTU packets ([`size_class`]). FEC parity packets are
+//!   always full-sized, so a FEC-heavy sender (Zoom) concentrates mass
+//!   in the top class.
+//! - **Inter-arrival statistics** — mean and coefficient of variation
+//!   of video packet gaps (pacing smoothness differs per controller).
+//! - **Burst/frame cadence** — frames delimited by the marker-packet
+//!   heuristic (a video packet below [`FULL_WIRE`] ends a frame; a
+//!   silence beyond [`FRAME_CLOSE_GAP_S`] force-closes a pending one).
+//! - **Rate-oscillation signature** — the temporal coefficient of
+//!   variation of per-second video bytes (Teams' controller oscillates
+//!   around its nominal rate; GCC and FBRA hold steadier).
+//! - **Directional byte ratio** — uplink vs downlink volume, combined
+//!   at the call level by [`CallFingerprint`].
+
+use vcabench_simcore::SimTime;
+use vcabench_telemetry::{EventKind, Recorder};
+
+/// Per-packet header overhead on the wire: RTP (12) + UDP/IP (28).
+pub const HEADER_BYTES: u64 = 40;
+/// Largest wire size still classified as audio/control.
+pub const AUDIO_WIRE: u64 = 140;
+/// Smallest wire size classified as video.
+pub const VIDEO_MIN_WIRE: u64 = AUDIO_WIRE + 1;
+/// Wire size of a full (MTU-payload) video packet; smaller video packets
+/// are partial tails that mark a frame boundary.
+pub const FULL_WIRE: u64 = 1140;
+/// Video-stream silence that force-closes a pending frame whose tail
+/// packet was full-sized, seconds.
+pub const FRAME_CLOSE_GAP_S: f64 = 0.080;
+
+/// Number of packet-size classes in the fingerprint histogram.
+pub const NUM_SIZE_CLASSES: usize = 6;
+
+/// Upper (inclusive) wire-size bound of each histogram class, except the
+/// last, which is open-ended. Classes: RTCP/signaling, audio, three video
+/// bands, full-MTU.
+pub const SIZE_CLASS_BOUNDS: [u64; NUM_SIZE_CLASSES - 1] = [96, AUDIO_WIRE, 500, 1000, FULL_WIRE - 1];
+
+/// Histogram class of a wire size.
+pub fn size_class(bytes: u64) -> usize {
+    SIZE_CLASS_BOUNDS
+        .iter()
+        .position(|&b| bytes <= b)
+        .unwrap_or(NUM_SIZE_CLASSES - 1)
+}
+
+/// Which side of the tap link the virtual observer sits on (mirrors the
+/// `vcabench-infer` vantage semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vantage {
+    /// Before the queue: sees enqueues *and* drops on the tap link.
+    Send,
+    /// After the queue: sees dequeues on the tap link.
+    Recv,
+}
+
+/// One passive observation point: a link, a flow on it, and a vantage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTap {
+    /// Link index to watch.
+    pub link: u64,
+    /// Flow to watch on that link.
+    pub flow: u64,
+    /// Observer position.
+    pub vantage: Vantage,
+}
+
+/// Call-level fingerprint of one tapped flow: everything the classifier
+/// sees about one direction of a call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowFingerprint {
+    /// The tap the fingerprint was accumulated on.
+    pub tap: FlowTap,
+    /// Observation span, seconds (the `end` passed to `finish`).
+    pub duration_s: f64,
+    /// Packet counts per size class (see [`size_class`]).
+    pub hist: [u64; NUM_SIZE_CLASSES],
+    /// Total wire bytes observed.
+    pub wire_bytes: u64,
+    /// Video payload bytes (wire minus [`HEADER_BYTES`] per video packet).
+    pub video_payload_bytes: u64,
+    /// Video-classified packets.
+    pub video_pkts: u64,
+    /// Video packets of exactly full wire size.
+    pub full_pkts: u64,
+    /// Non-video packets (audio, RTCP, signaling).
+    pub small_pkts: u64,
+    /// Frame boundaries detected (marker or gap-closed).
+    pub frames: u64,
+    /// Mean inter-arrival gap between video packets, seconds.
+    pub iat_mean_s: f64,
+    /// Coefficient of variation of the video inter-arrival gaps.
+    pub iat_cv: f64,
+    /// Temporal coefficient of variation of per-second video payload
+    /// bytes (the rate-oscillation signature).
+    pub rate_cv: f64,
+}
+
+impl FlowFingerprint {
+    /// Mean video payload rate over the observation span, Mbps.
+    pub fn video_mbps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.video_payload_bytes as f64 * 8e-6 / self.duration_s
+        }
+    }
+
+    /// Fraction of video packets that were full-sized (high under heavy
+    /// FEC, whose parity packets are always full-sized).
+    pub fn full_fraction(&self) -> f64 {
+        if self.video_pkts == 0 {
+            0.0
+        } else {
+            self.full_pkts as f64 / self.video_pkts as f64
+        }
+    }
+
+    /// Mean video payload per packet, bytes.
+    pub fn mean_video_payload(&self) -> f64 {
+        if self.video_pkts == 0 {
+            0.0
+        } else {
+            self.video_payload_bytes as f64 / self.video_pkts as f64
+        }
+    }
+
+    /// Inferred frame rate over the observation span, frames per second.
+    pub fn fps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / self.duration_s
+        }
+    }
+
+    /// Mean video payload per inferred frame, kilobytes.
+    pub fn payload_per_frame_kb(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.video_payload_bytes as f64 * 1e-3 / self.frames as f64
+        }
+    }
+
+    /// Non-video packets per second (audio + control cadence).
+    pub fn small_rate(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.small_pkts as f64 / self.duration_s
+        }
+    }
+}
+
+/// Single-pass fingerprint accumulator for one tap.
+///
+/// Feed it events in simulation-time order (the [`Recorder`] contract),
+/// then call [`FlowAccumulator::finish`]. State is O(1) plus one byte
+/// bucket per observed second — no packets are buffered.
+#[derive(Debug, Clone)]
+pub struct FlowAccumulator {
+    tap: FlowTap,
+    hist: [u64; NUM_SIZE_CLASSES],
+    wire_bytes: u64,
+    video_payload_bytes: u64,
+    video_pkts: u64,
+    full_pkts: u64,
+    small_pkts: u64,
+    frames: u64,
+    // Inter-arrival accumulators over video packets.
+    iat_n: u64,
+    iat_sum: f64,
+    iat_sumsq: f64,
+    last_video_s: Option<f64>,
+    // Frame segmentation.
+    pending_payload: u64,
+    // Per-second video payload buckets (rate-oscillation signature).
+    sec_bytes: Vec<u64>,
+}
+
+impl FlowAccumulator {
+    /// An accumulator for `tap` with no events seen yet.
+    pub fn new(tap: FlowTap) -> Self {
+        FlowAccumulator {
+            tap,
+            hist: [0; NUM_SIZE_CLASSES],
+            wire_bytes: 0,
+            video_payload_bytes: 0,
+            video_pkts: 0,
+            full_pkts: 0,
+            small_pkts: 0,
+            frames: 0,
+            iat_n: 0,
+            iat_sum: 0.0,
+            iat_sumsq: 0.0,
+            last_video_s: None,
+            pending_payload: 0,
+            sec_bytes: Vec::new(),
+        }
+    }
+
+    /// The tap this accumulator watches.
+    pub fn tap(&self) -> FlowTap {
+        self.tap
+    }
+
+    /// One packet crossed the tap at `at` with `bytes` on the wire.
+    fn observe_packet(&mut self, at: SimTime, bytes: u64) {
+        let now_s = at.as_secs_f64();
+        // A long video silence closes a pending frame whose tail packet
+        // was full-sized (frame bytes an exact MTU multiple).
+        if self.pending_payload > 0 {
+            if let Some(last) = self.last_video_s {
+                if now_s - last > FRAME_CLOSE_GAP_S {
+                    self.pending_payload = 0;
+                    self.frames += 1;
+                }
+            }
+        }
+        self.hist[size_class(bytes)] += 1;
+        self.wire_bytes += bytes;
+        if bytes >= VIDEO_MIN_WIRE {
+            let payload = bytes - HEADER_BYTES;
+            self.video_pkts += 1;
+            self.video_payload_bytes += payload;
+            self.pending_payload += payload;
+            let sec = (at.as_micros() / 1_000_000) as usize;
+            if sec >= self.sec_bytes.len() {
+                self.sec_bytes.resize(sec + 1, 0);
+            }
+            self.sec_bytes[sec] += payload;
+            if let Some(last) = self.last_video_s {
+                let dt = (now_s - last).max(0.0);
+                self.iat_n += 1;
+                self.iat_sum += dt;
+                self.iat_sumsq += dt * dt;
+            }
+            self.last_video_s = Some(now_s);
+            if bytes >= FULL_WIRE {
+                self.full_pkts += 1;
+            } else {
+                // Partial tail: the frame's last packet.
+                self.pending_payload = 0;
+                self.frames += 1;
+            }
+        } else {
+            self.small_pkts += 1;
+        }
+    }
+
+    /// Seal the accumulator into a [`FlowFingerprint`] covering `[0, end)`.
+    /// A frame still pending at `end` never completed and is dropped.
+    pub fn finish(self, end: SimTime) -> FlowFingerprint {
+        let duration_s = end.as_secs_f64();
+        let (iat_mean_s, iat_cv) = if self.iat_n == 0 {
+            (0.0, 0.0)
+        } else {
+            let n = self.iat_n as f64;
+            let mean = self.iat_sum / n;
+            let var = (self.iat_sumsq / n - mean * mean).max(0.0);
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            (mean, cv)
+        };
+        // Temporal CV over every *complete* second in [0, end): pad the
+        // buckets with zeros out to the span so silence counts.
+        let secs = end.as_micros() / 1_000_000;
+        let rate_cv = if secs == 0 {
+            0.0
+        } else {
+            let n = secs as f64;
+            let total: u64 = self.sec_bytes.iter().take(secs as usize).sum();
+            let mean = total as f64 / n;
+            if mean <= 0.0 {
+                0.0
+            } else {
+                let sumsq: f64 = (0..secs as usize)
+                    .map(|i| {
+                        let b = self.sec_bytes.get(i).copied().unwrap_or(0) as f64;
+                        (b - mean) * (b - mean)
+                    })
+                    .sum();
+                (sumsq / n).sqrt() / mean
+            }
+        };
+        FlowFingerprint {
+            tap: self.tap,
+            duration_s,
+            hist: self.hist,
+            wire_bytes: self.wire_bytes,
+            video_payload_bytes: self.video_payload_bytes,
+            video_pkts: self.video_pkts,
+            full_pkts: self.full_pkts,
+            small_pkts: self.small_pkts,
+            frames: self.frames,
+            iat_mean_s,
+            iat_cv,
+            rate_cv,
+        }
+    }
+}
+
+impl Recorder for FlowAccumulator {
+    fn record(&mut self, at: SimTime, kind: EventKind) {
+        match kind {
+            EventKind::PacketEnqueued {
+                link, flow, bytes, ..
+            } if self.tap.vantage == Vantage::Send
+                && link == self.tap.link
+                && flow == self.tap.flow =>
+            {
+                self.observe_packet(at, bytes)
+            }
+            EventKind::PacketDequeued {
+                link, flow, bytes, ..
+            } if self.tap.vantage == Vantage::Recv
+                && link == self.tap.link
+                && flow == self.tap.flow =>
+            {
+                self.observe_packet(at, bytes)
+            }
+            // Pre-queue observer: the sender emitted this packet even
+            // though the queue discarded it.
+            EventKind::PacketDropped {
+                link, flow, bytes, ..
+            } if self.tap.vantage == Vantage::Send
+                && link == self.tap.link
+                && flow == self.tap.flow =>
+            {
+                self.observe_packet(at, bytes)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The two directions of one call, fingerprinted together: what the
+/// classifier consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallFingerprint {
+    /// Uplink (send-side) fingerprint.
+    pub up: FlowFingerprint,
+    /// Downlink (recv-side) fingerprint.
+    pub down: FlowFingerprint,
+}
+
+/// Number of classifier input features.
+pub const NUM_FP_FEATURES: usize = 17;
+
+/// Feature names, in the order [`CallFingerprint::feature_vector`]
+/// produces them. Part of the model artifact schema.
+pub const FP_FEATURE_NAMES: [&str; NUM_FP_FEATURES] = [
+    "up_video_mbps",
+    "up_full_fraction",
+    "up_mean_video_payload_kb",
+    "up_fps",
+    "up_payload_per_frame_kb",
+    "up_iat_cv",
+    "up_rate_cv",
+    "up_small_rate",
+    "down_video_mbps",
+    "down_full_fraction",
+    "down_mean_video_payload_kb",
+    "down_fps",
+    "down_payload_per_frame_kb",
+    "down_iat_cv",
+    "down_rate_cv",
+    "down_small_rate",
+    "up_down_byte_ratio",
+];
+
+fn tap_features(f: &FlowFingerprint) -> [f64; 8] {
+    [
+        f.video_mbps(),
+        f.full_fraction(),
+        f.mean_video_payload() * 1e-3,
+        f.fps(),
+        f.payload_per_frame_kb(),
+        f.iat_cv,
+        f.rate_cv,
+        f.small_rate(),
+    ]
+}
+
+impl CallFingerprint {
+    /// Uplink-to-downlink wire byte ratio (downlink floored at one byte).
+    pub fn byte_ratio(&self) -> f64 {
+        self.up.wire_bytes as f64 / (self.down.wire_bytes.max(1)) as f64
+    }
+
+    /// The classifier's input vector ([`FP_FEATURE_NAMES`] order).
+    pub fn feature_vector(&self) -> [f64; NUM_FP_FEATURES] {
+        let mut out = [0.0; NUM_FP_FEATURES];
+        out[..8].copy_from_slice(&tap_features(&self.up));
+        out[8..16].copy_from_slice(&tap_features(&self.down));
+        out[16] = self.byte_ratio();
+        out
+    }
+}
+
+/// A bank of accumulators sharing one event stream: the [`Recorder`] to
+/// attach when a run fingerprints several taps at once.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintBank {
+    accs: Vec<FlowAccumulator>,
+}
+
+impl FingerprintBank {
+    /// One accumulator per tap.
+    pub fn new(taps: &[FlowTap]) -> Self {
+        FingerprintBank {
+            accs: taps.iter().map(|&t| FlowAccumulator::new(t)).collect(),
+        }
+    }
+
+    /// Finish every accumulator, returning fingerprints in tap order.
+    pub fn finish(self, end: SimTime) -> Vec<FlowFingerprint> {
+        self.accs.into_iter().map(|a| a.finish(end)).collect()
+    }
+}
+
+impl Recorder for FingerprintBank {
+    fn record(&mut self, at: SimTime, kind: EventKind) {
+        if !matches!(
+            kind,
+            EventKind::PacketEnqueued { .. }
+                | EventKind::PacketDequeued { .. }
+                | EventKind::PacketDropped { .. }
+        ) {
+            return;
+        }
+        for a in &mut self.accs {
+            a.record(at, kind.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv_tap() -> FlowTap {
+        FlowTap {
+            link: 1,
+            flow: 11,
+            vantage: Vantage::Recv,
+        }
+    }
+
+    fn deq(link: u64, flow: u64, bytes: u64) -> EventKind {
+        EventKind::PacketDequeued {
+            link,
+            flow,
+            pkt: 0,
+            bytes,
+            queue_bytes: 0,
+        }
+    }
+
+    fn enq(link: u64, flow: u64, bytes: u64) -> EventKind {
+        EventKind::PacketEnqueued {
+            link,
+            flow,
+            pkt: 0,
+            bytes,
+            queue_bytes: 0,
+            queue_pkts: 0,
+        }
+    }
+
+    /// Send a frame of `full` full packets plus one marker tail.
+    fn frame(acc: &mut FlowAccumulator, at_ms: u64, full: usize) {
+        for i in 0..full {
+            acc.record(
+                SimTime::from_millis(at_ms) + vcabench_simcore::SimDuration::from_micros(i as u64),
+                deq(1, 11, FULL_WIRE),
+            );
+        }
+        acc.record(
+            SimTime::from_millis(at_ms) + vcabench_simcore::SimDuration::from_micros(full as u64),
+            deq(1, 11, 500),
+        );
+    }
+
+    #[test]
+    fn size_classes_are_exhaustive_and_ordered() {
+        assert_eq!(size_class(40), 0);
+        assert_eq!(size_class(96), 0);
+        assert_eq!(size_class(AUDIO_WIRE), 1);
+        assert_eq!(size_class(141), 2);
+        assert_eq!(size_class(500), 2);
+        assert_eq!(size_class(501), 3);
+        assert_eq!(size_class(1000), 3);
+        assert_eq!(size_class(1001), 4);
+        assert_eq!(size_class(FULL_WIRE - 1), 4);
+        assert_eq!(size_class(FULL_WIRE), 5);
+        assert_eq!(size_class(9000), 5);
+    }
+
+    #[test]
+    fn histogram_frames_and_rates_accumulate() {
+        let mut acc = FlowAccumulator::new(recv_tap());
+        for i in 0..30u64 {
+            frame(&mut acc, 33 * i, 2);
+        }
+        for i in 0..50u64 {
+            acc.record(SimTime::from_millis(20 * i), deq(1, 11, AUDIO_WIRE));
+        }
+        let fp = acc.finish(SimTime::from_secs(1));
+        assert_eq!(fp.frames, 30);
+        assert_eq!(fp.video_pkts, 90);
+        assert_eq!(fp.full_pkts, 60);
+        assert_eq!(fp.small_pkts, 50);
+        assert_eq!(fp.hist, [0, 50, 30, 0, 0, 60]);
+        assert!((fp.full_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((fp.fps() - 30.0).abs() < 1e-9);
+        let payload = 60 * (FULL_WIRE - HEADER_BYTES) + 30 * (500 - HEADER_BYTES);
+        assert_eq!(fp.video_payload_bytes, payload);
+        assert!((fp.video_mbps() - payload as f64 * 8e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_closes_a_pending_full_sized_frame() {
+        let mut acc = FlowAccumulator::new(recv_tap());
+        acc.record(SimTime::from_millis(0), deq(1, 11, FULL_WIRE));
+        acc.record(SimTime::from_millis(1), deq(1, 11, FULL_WIRE));
+        // Far beyond the close gap: the next video packet closes it.
+        acc.record(SimTime::from_millis(200), deq(1, 11, FULL_WIRE));
+        let fp = acc.finish(SimTime::from_secs(1));
+        assert_eq!(fp.frames, 1);
+        // But a frame still pending at the end is discarded.
+        let mut acc = FlowAccumulator::new(recv_tap());
+        acc.record(SimTime::from_millis(900), deq(1, 11, FULL_WIRE));
+        let fp = acc.finish(SimTime::from_secs(1));
+        assert_eq!(fp.frames, 0);
+        assert_eq!(fp.video_pkts, 1, "bytes still counted");
+    }
+
+    #[test]
+    fn vantage_filters_links_flows_and_event_kinds() {
+        let mut acc = FlowAccumulator::new(recv_tap());
+        acc.record(SimTime::from_millis(1), enq(1, 11, FULL_WIRE));
+        acc.record(SimTime::from_millis(2), deq(0, 11, FULL_WIRE));
+        acc.record(SimTime::from_millis(3), deq(1, 10, FULL_WIRE));
+        let fp = acc.finish(SimTime::from_secs(1));
+        assert_eq!(fp.video_pkts, 0);
+        // Send tap sees enqueues and same-link drops.
+        let mut acc = FlowAccumulator::new(FlowTap {
+            link: 0,
+            flow: 10,
+            vantage: Vantage::Send,
+        });
+        acc.record(SimTime::from_millis(1), enq(0, 10, FULL_WIRE));
+        acc.record(
+            SimTime::from_millis(2),
+            EventKind::PacketDropped {
+                link: 0,
+                flow: 10,
+                pkt: 0,
+                bytes: FULL_WIRE,
+                queue_bytes: 0,
+                reason: "queue_full",
+            },
+        );
+        acc.record(SimTime::from_millis(3), deq(0, 10, 500));
+        let fp = acc.finish(SimTime::from_secs(1));
+        assert_eq!(fp.video_pkts, 2);
+    }
+
+    #[test]
+    fn iat_and_rate_statistics_are_computed() {
+        // Perfectly periodic full packets: IAT CV ~ 0; constant rate per
+        // second: rate CV ~ 0 (with a marker tail each, one frame per).
+        let mut acc = FlowAccumulator::new(recv_tap());
+        for i in 0..100u64 {
+            acc.record(SimTime::from_millis(20 * i), deq(1, 11, 600));
+        }
+        let fp = acc.finish(SimTime::from_secs(2));
+        assert!((fp.iat_mean_s - 0.020).abs() < 1e-9, "{}", fp.iat_mean_s);
+        assert!(fp.iat_cv < 1e-9);
+        assert!(fp.rate_cv < 1e-9);
+        // Bursty seconds: all bytes in even seconds -> CV = 1.
+        let mut acc = FlowAccumulator::new(recv_tap());
+        for sec in [0u64, 2, 4, 6] {
+            for i in 0..10u64 {
+                acc.record(SimTime::from_millis(sec * 1000 + 20 * i), deq(1, 11, 600));
+            }
+        }
+        let fp = acc.finish(SimTime::from_secs(8));
+        assert!((fp.rate_cv - 1.0).abs() < 1e-9, "{}", fp.rate_cv);
+    }
+
+    #[test]
+    fn call_fingerprint_combines_directions() {
+        let mut up = FlowAccumulator::new(FlowTap {
+            link: 0,
+            flow: 10,
+            vantage: Vantage::Send,
+        });
+        let mut down = FlowAccumulator::new(recv_tap());
+        for i in 0..10u64 {
+            up.record(SimTime::from_millis(30 * i), enq(0, 10, 640));
+            down.record(SimTime::from_millis(30 * i), deq(1, 11, 340));
+        }
+        let call = CallFingerprint {
+            up: up.finish(SimTime::from_secs(1)),
+            down: down.finish(SimTime::from_secs(1)),
+        };
+        assert!((call.byte_ratio() - 640.0 / 340.0).abs() < 1e-9);
+        let x = call.feature_vector();
+        assert_eq!(x.len(), NUM_FP_FEATURES);
+        assert_eq!(FP_FEATURE_NAMES.len(), NUM_FP_FEATURES);
+        assert!((x[0] - call.up.video_mbps()).abs() < 1e-12);
+        assert!((x[8] - call.down.video_mbps()).abs() < 1e-12);
+        assert!((x[16] - call.byte_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_fans_out_and_preserves_tap_order() {
+        let taps = [
+            FlowTap {
+                link: 0,
+                flow: 10,
+                vantage: Vantage::Send,
+            },
+            recv_tap(),
+        ];
+        let mut bank = FingerprintBank::new(&taps);
+        bank.record(SimTime::from_millis(1), enq(0, 10, FULL_WIRE));
+        bank.record(SimTime::from_millis(2), deq(1, 11, 500));
+        let fps = bank.finish(SimTime::from_secs(1));
+        assert_eq!(fps.len(), 2);
+        assert_eq!(fps[0].tap, taps[0]);
+        assert_eq!(fps[0].video_pkts, 1);
+        assert_eq!(fps[1].frames, 1);
+    }
+}

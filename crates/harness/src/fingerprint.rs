@@ -1,0 +1,881 @@
+//! Flow-level VCA identification: the harness half of
+//! `vcabench-fingerprint`, sitting *ahead of* passive QoE inference.
+//!
+//! The inference stage (`harness::infer`) presumes the observer knows
+//! which application a flow belongs to — its per-VCA calibrated model is
+//! selected by the spec's kind. This module removes that assumption: it
+//! taps the same two observation points, folds C1's packets into a
+//! [`CallFingerprint`], classifies the call with the training-free rules
+//! and the frozen centroid model, and scores identification accuracy
+//! against the spec's ground truth (confusion matrix, per-family
+//! precision/recall). `repro infer --identify` then routes each run
+//! through the classifier to pick the per-family calibrated estimator —
+//! the full passive pipeline `tap → fingerprint → per-VCA model → QoE`.
+//!
+//! Everything is a pure function of the specs: suites parallelize with
+//! the campaign executor and produce byte-identical reports for any
+//! `--jobs` value.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vcabench_campaign::{run_indexed, ScenarioSpec};
+use vcabench_fingerprint::{
+    CallFingerprint, CentroidModel, Classifier, FingerprintBank, FlowTap, RuleClassifier,
+    Vantage, VcaFamily, NUM_FP_FEATURES,
+};
+use vcabench_infer::{Estimator, KindModels, LinearModel, TapBank};
+use vcabench_netsim::EngineStats;
+use vcabench_simcore::SimTime;
+use vcabench_telemetry::{EventKind, Recorder, Telemetry};
+use vcabench_vca::VcaKind;
+
+use crate::infer::{
+    bitrate_errors, fit_model, join_windows, run_spec_tapped, taps_for, InferOutcome,
+    MetricScore, WindowRow,
+};
+
+/// Default gate: minimum identification accuracy over a suite.
+pub const DEFAULT_MIN_ID_ACCURACY: f64 = 0.95;
+
+/// Default gate: maximum regression of the identified-routing path's
+/// pooled median bitrate error over the spec-routed path, in absolute
+/// error (two percentage points).
+pub const DEFAULT_MAX_ROUTED_DELTA: f64 = 0.02;
+
+/// The application family a [`VcaKind`] identifies as. Browser variants
+/// share the native client's wire behaviour profile, so identification
+/// targets the family, not the client build.
+pub fn family_of(kind: VcaKind) -> VcaFamily {
+    match kind {
+        VcaKind::Meet => VcaFamily::Meet,
+        VcaKind::Teams | VcaKind::TeamsChrome => VcaFamily::Teams,
+        VcaKind::Zoom | VcaKind::ZoomChrome => VcaFamily::Zoom,
+    }
+}
+
+/// The client kind a scenario runs for C1 (the tapped client).
+pub fn spec_kind(spec: &ScenarioSpec) -> VcaKind {
+    match spec {
+        ScenarioSpec::TwoParty(s) => s.kind,
+        ScenarioSpec::Competition(s) => s.incumbent,
+        ScenarioSpec::Multiparty(s) => s.kind,
+    }
+}
+
+/// Ground-truth family of a scenario (what the classifier must recover).
+pub fn spec_family(spec: &ScenarioSpec) -> VcaFamily {
+    family_of(spec_kind(spec))
+}
+
+/// Fingerprint tap placement for a scenario: the same two observation
+/// points [`taps_for`] places for inference (C1 uplink pre-queue, C1
+/// downlink post-queue; the shared bottleneck under competition),
+/// expressed as fingerprint-crate taps.
+pub fn fp_taps_for(spec: &ScenarioSpec) -> [FlowTap; 2] {
+    let taps = taps_for(spec);
+    let conv = |t: vcabench_infer::TapSpec| FlowTap {
+        link: t.link,
+        flow: t.flow,
+        vantage: match t.vantage {
+            vcabench_infer::Vantage::Send => Vantage::Send,
+            vcabench_infer::Vantage::Recv => Vantage::Recv,
+        },
+    };
+    [conv(taps.send), conv(taps.recv)]
+}
+
+/// Run one scenario with the fingerprint bank attached (streaming,
+/// online — no event log is kept), returning the call fingerprint.
+pub fn run_spec_fingerprint(spec: &ScenarioSpec) -> CallFingerprint {
+    run_spec_fingerprint_metered(spec).0
+}
+
+/// Like [`run_spec_fingerprint`], additionally returning the engine's
+/// counters (the `repro bench` identification-stage scenario reads
+/// these).
+pub fn run_spec_fingerprint_metered(spec: &ScenarioSpec) -> (CallFingerprint, EngineStats) {
+    let taps = fp_taps_for(spec);
+    let bank = Rc::new(RefCell::new(FingerprintBank::new(&taps)));
+    let tel = Telemetry::attach(bank.clone());
+    let (_stats, duration, engine) = run_spec_tapped(spec, &tel);
+    drop(tel);
+    let bank = Rc::try_unwrap(bank)
+        .expect("run finished; the fingerprint bank has a sole owner")
+        .into_inner();
+    let mut fps = bank.finish(duration);
+    let down = fps.pop().expect("recv tap");
+    let up = fps.pop().expect("send tap");
+    (CallFingerprint { up, down }, engine)
+}
+
+/// One scenario's fingerprint with its ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledFingerprint {
+    /// Scenario name.
+    pub scenario: String,
+    /// Ground-truth family from the spec.
+    pub truth: VcaFamily,
+    /// The observed call fingerprint.
+    pub fingerprint: CallFingerprint,
+}
+
+/// Fingerprint a named-scenario suite on `jobs` workers. Output order
+/// and bytes are independent of `jobs`.
+pub fn fingerprint_suite(
+    scenarios: &[(String, ScenarioSpec)],
+    jobs: usize,
+) -> Vec<LabeledFingerprint> {
+    run_indexed(scenarios.len(), jobs, |i| LabeledFingerprint {
+        scenario: scenarios[i].0.clone(),
+        truth: spec_family(&scenarios[i].1),
+        fingerprint: run_spec_fingerprint(&scenarios[i].1),
+    })
+}
+
+/// Fit a nearest-centroid model from labeled fingerprints (row order is
+/// preserved, so the fit — and the serialized artifact — is
+/// byte-identical for any `--jobs` the suite ran with).
+pub fn fit_centroid(rows: &[LabeledFingerprint]) -> Option<CentroidModel> {
+    let data: Vec<(VcaFamily, [f64; NUM_FP_FEATURES])> = rows
+        .iter()
+        .map(|r| (r.truth, r.fingerprint.feature_vector()))
+        .collect();
+    CentroidModel::fit(&data)
+}
+
+/// The pinned training campaign the committed centroid artifact is fit
+/// over (`repro identify --fit`): per family, an unshaped two-party
+/// call, up- and down-shaped calls, a self-competition run on a 2.5 Mbps
+/// bottleneck, and a 4-party call — two seeds for the unshaped case.
+/// Training must cover the shaped/congested regimes or the centroids
+/// only describe happy-path traffic.
+pub fn training_suite(quick: bool) -> Vec<(String, ScenarioSpec)> {
+    use vcabench_campaign::{
+        CompetitionSpec, CompetitorSpec, MultipartySpec, TwoPartySpec,
+    };
+    use vcabench_netsim::RateProfile;
+    let dur = if quick { 12.0 } else { 30.0 };
+    let mut out = Vec::new();
+    for kind in VcaKind::NATIVE {
+        let tag = vcabench_campaign::slug(kind.name());
+        let two_party = |up: f64, down: f64, seed: u64| {
+            ScenarioSpec::TwoParty(TwoPartySpec {
+                kind,
+                up: RateProfile::constant_mbps(up),
+                down: RateProfile::constant_mbps(down),
+                duration_secs: dur,
+                seed,
+                knobs: None,
+            })
+        };
+        out.push((format!("train_{tag}_unshaped_s1"), two_party(1000.0, 1000.0, 1)));
+        out.push((format!("train_{tag}_unshaped_s2"), two_party(1000.0, 1000.0, 2)));
+        out.push((format!("train_{tag}_up_0.5"), two_party(0.5, 1000.0, 1)));
+        out.push((format!("train_{tag}_down_0.45"), two_party(1000.0, 0.45, 1)));
+        let (start, cdur, total) = if quick {
+            (4.0, 8.0, 16.0)
+        } else {
+            (10.0, 30.0, 50.0)
+        };
+        out.push((
+            format!("train_{tag}_competition_2.5"),
+            ScenarioSpec::Competition(CompetitionSpec {
+                incumbent: kind,
+                competitor: CompetitorSpec::Vca(kind),
+                capacity_mbps: 2.5,
+                competitor_start_secs: Some(start),
+                competitor_duration_secs: Some(cdur),
+                total_secs: Some(total),
+                seed: 1,
+            }),
+        ));
+        out.push((
+            format!("train_{tag}_multiparty_4"),
+            ScenarioSpec::Multiparty(MultipartySpec {
+                kind,
+                n: 4,
+                pin_c1: Some(false),
+                duration_secs: dur,
+                seed: 1,
+            }),
+        ));
+    }
+    out
+}
+
+/// One scenario's identification outcome under both classifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentifiedScenario {
+    /// Scenario name.
+    pub scenario: String,
+    /// Ground-truth family.
+    pub truth: VcaFamily,
+    /// The rule classifier's call.
+    pub rule: VcaFamily,
+    /// The centroid model's call.
+    pub centroid: VcaFamily,
+}
+
+/// One classifier's aggregate score over a suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierScore {
+    /// Classifier name.
+    pub classifier: String,
+    /// Confusion counts, `[truth.index()][predicted.index()]` in
+    /// [`VcaFamily::ALL`] order.
+    pub confusion: [[u64; 3]; 3],
+    /// Fraction of scenarios identified correctly.
+    pub accuracy: f64,
+    /// Per-family precision, [`VcaFamily::ALL`] order (1.0 when the
+    /// family was never predicted).
+    pub precision: [f64; 3],
+    /// Per-family recall, [`VcaFamily::ALL`] order (1.0 when the family
+    /// never occurred).
+    pub recall: [f64; 3],
+}
+
+/// The identification report: per-scenario calls plus per-classifier
+/// aggregate scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentifyReport {
+    /// Per-scenario outcomes, in suite order.
+    pub scenarios: Vec<IdentifiedScenario>,
+    /// Aggregate scores: the rule classifier, then the centroid model.
+    pub scores: Vec<ClassifierScore>,
+}
+
+impl IdentifyReport {
+    /// The centroid model's accuracy (the gated headline number).
+    pub fn centroid_accuracy(&self) -> f64 {
+        self.scores
+            .iter()
+            .find(|s| s.classifier == "centroid")
+            .map(|s| s.accuracy)
+            .unwrap_or(0.0)
+    }
+}
+
+fn score_classifier(name: &str, pairs: &[(VcaFamily, VcaFamily)]) -> ClassifierScore {
+    let mut confusion = [[0u64; 3]; 3];
+    for (truth, pred) in pairs {
+        confusion[truth.index()][pred.index()] += 1;
+    }
+    let correct: u64 = (0..3).map(|i| confusion[i][i]).sum();
+    let total: u64 = pairs.len() as u64;
+    let ratio = |num: u64, den: u64| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    let mut precision = [0.0; 3];
+    let mut recall = [0.0; 3];
+    for i in 0..3 {
+        let predicted: u64 = (0..3).map(|t| confusion[t][i]).sum();
+        let actual: u64 = confusion[i].iter().sum();
+        precision[i] = ratio(confusion[i][i], predicted);
+        recall[i] = ratio(confusion[i][i], actual);
+    }
+    ClassifierScore {
+        classifier: name.to_string(),
+        confusion,
+        accuracy: ratio(correct, total),
+        precision,
+        recall,
+    }
+}
+
+/// Classify every fingerprint with both classifiers and score them
+/// against the ground truth.
+pub fn build_identify_report(
+    rows: &[LabeledFingerprint],
+    model: &CentroidModel,
+) -> IdentifyReport {
+    let rule = RuleClassifier;
+    let scenarios: Vec<IdentifiedScenario> = rows
+        .iter()
+        .map(|r| IdentifiedScenario {
+            scenario: r.scenario.clone(),
+            truth: r.truth,
+            rule: rule.classify(&r.fingerprint),
+            centroid: model.classify(&r.fingerprint),
+        })
+        .collect();
+    let pairs = |f: &dyn Fn(&IdentifiedScenario) -> VcaFamily| -> Vec<(VcaFamily, VcaFamily)> {
+        scenarios.iter().map(|s| (s.truth, f(s))).collect()
+    };
+    IdentifyReport {
+        scores: vec![
+            score_classifier("rule", &pairs(&|s| s.rule)),
+            score_classifier("centroid", &pairs(&|s| s.centroid)),
+        ],
+        scenarios,
+    }
+}
+
+/// Render the identification report as deterministic text.
+pub fn render_identify_report(report: &IdentifyReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "VCA identification: {} scenarios\n",
+        report.scenarios.len()
+    ));
+    for sc in &report.scenarios {
+        let mark = |pred: VcaFamily| if pred == sc.truth { ' ' } else { '!' };
+        s.push_str(&format!(
+            "  {:<28} truth={:<5} rule={:<5}{} centroid={:<5}{}\n",
+            sc.scenario,
+            sc.truth.name(),
+            sc.rule.name(),
+            mark(sc.rule),
+            sc.centroid.name(),
+            mark(sc.centroid),
+        ));
+    }
+    for score in &report.scores {
+        s.push_str(&format!(
+            "classifier `{}`: accuracy {:.3}\n",
+            score.classifier, score.accuracy
+        ));
+        s.push_str("  confusion (rows=truth, cols=predicted; Meet/Teams/Zoom):\n");
+        for (i, fam) in VcaFamily::ALL.iter().enumerate() {
+            s.push_str(&format!(
+                "    {:<5} {:>3} {:>3} {:>3}   precision {:.2}  recall {:.2}\n",
+                fam.name(),
+                score.confusion[i][0],
+                score.confusion[i][1],
+                score.confusion[i][2],
+                score.precision[i],
+                score.recall[i],
+            ));
+        }
+    }
+    s
+}
+
+/// Serialize the identification report as a stable JSON artifact (fixed
+/// key order — byte-identical for any `--jobs`).
+pub fn identify_report_json(report: &IdentifyReport) -> String {
+    use serde_json::{Map, Value};
+    let mut root = Map::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("vcabench-identify-report/v1".to_string()),
+    );
+    root.insert(
+        "families".to_string(),
+        Value::Array(
+            VcaFamily::ALL
+                .iter()
+                .map(|f| Value::String(f.name().to_string()))
+                .collect(),
+        ),
+    );
+    root.insert(
+        "scenarios".to_string(),
+        Value::Array(
+            report
+                .scenarios
+                .iter()
+                .map(|sc| {
+                    let mut o = Map::new();
+                    o.insert("name".to_string(), Value::String(sc.scenario.clone()));
+                    o.insert(
+                        "truth".to_string(),
+                        Value::String(sc.truth.name().to_string()),
+                    );
+                    o.insert("rule".to_string(), Value::String(sc.rule.name().to_string()));
+                    o.insert(
+                        "centroid".to_string(),
+                        Value::String(sc.centroid.name().to_string()),
+                    );
+                    Value::Object(o)
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "classifiers".to_string(),
+        Value::Array(
+            report
+                .scores
+                .iter()
+                .map(|s| {
+                    let mut o = Map::new();
+                    o.insert("name".to_string(), Value::String(s.classifier.clone()));
+                    o.insert("accuracy".to_string(), Value::F64(s.accuracy));
+                    o.insert(
+                        "confusion".to_string(),
+                        Value::Array(
+                            s.confusion
+                                .iter()
+                                .map(|row| {
+                                    Value::Array(row.iter().map(|&c| Value::U64(c)).collect())
+                                })
+                                .collect(),
+                        ),
+                    );
+                    let floats = |xs: &[f64; 3]| {
+                        Value::Array(xs.iter().map(|&x| Value::F64(x)).collect())
+                    };
+                    o.insert("precision".to_string(), floats(&s.precision));
+                    o.insert("recall".to_string(), floats(&s.recall));
+                    Value::Object(o)
+                })
+                .collect(),
+        ),
+    );
+    let mut text = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable report");
+    text.push('\n');
+    text
+}
+
+/// A tee recorder: every event feeds both the inference tap bank and the
+/// fingerprint bank, so the identified-routing path runs each scenario
+/// exactly once.
+#[derive(Debug)]
+struct DualBank {
+    infer: TapBank,
+    fp: FingerprintBank,
+}
+
+impl Recorder for DualBank {
+    fn record(&mut self, at: SimTime, kind: EventKind) {
+        self.infer.record(at, kind.clone());
+        self.fp.record(at, kind);
+    }
+}
+
+/// Run one scenario with *both* the inference extractors and the
+/// fingerprint bank attached, returning the joined inference outcome and
+/// the call fingerprint from a single simulation.
+pub fn run_spec_infer_identify(spec: &ScenarioSpec) -> (InferOutcome, CallFingerprint) {
+    let taps = taps_for(spec);
+    let fp_taps = fp_taps_for(spec);
+    let bank = Rc::new(RefCell::new(DualBank {
+        infer: TapBank::new(&[taps.send, taps.recv]),
+        fp: FingerprintBank::new(&fp_taps),
+    }));
+    let tel = Telemetry::attach(bank.clone());
+    let (stats, duration, _engine) = run_spec_tapped(spec, &tel);
+    drop(tel);
+    let bank = Rc::try_unwrap(bank)
+        .expect("run finished; the dual bank has a sole owner")
+        .into_inner();
+    let mut windows = bank.infer.finish(duration);
+    let recv = windows.pop().expect("recv tap");
+    let send = windows.pop().expect("send tap");
+    let mut fps = bank.fp.finish(duration);
+    let fp_down = fps.pop().expect("recv tap");
+    let fp_up = fps.pop().expect("send tap");
+    (
+        InferOutcome {
+            send,
+            recv,
+            stats,
+            duration,
+        },
+        CallFingerprint {
+            up: fp_up,
+            down: fp_down,
+        },
+    )
+}
+
+/// One scenario's routed-inference outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedScenario {
+    /// Scenario name.
+    pub scenario: String,
+    /// Ground-truth family from the spec.
+    pub truth: VcaFamily,
+    /// The classifier's call (what routing actually used).
+    pub predicted: VcaFamily,
+    /// Joined windows.
+    pub windows: usize,
+}
+
+/// Cross-VCA generalization: a per-family model scored on its own family
+/// vs a model trained with that family held out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossVcaRow {
+    /// The held-out family.
+    pub held_out: VcaFamily,
+    /// Bitrate errors pooled over the held-out family's windows.
+    pub windows: usize,
+    /// Median error of the model fit on the held-out family itself.
+    pub in_domain_median: f64,
+    /// Median error of the model fit on the other two families only.
+    pub transfer_median: f64,
+    /// `transfer_median - in_domain_median`.
+    pub gap: f64,
+}
+
+/// The identified-routing validation report: classifier-routed per-family
+/// estimation vs the spec-routed reference, plus the cross-VCA
+/// generalization experiment over the same rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedReport {
+    /// Per-scenario routing calls, in suite order.
+    pub scenarios: Vec<RoutedScenario>,
+    /// Identification accuracy of the routing classifier.
+    pub id_accuracy: f64,
+    /// Pooled bitrate error, per-family models selected by the spec kind.
+    pub spec_routed: MetricScore,
+    /// Pooled bitrate error, per-family models selected by the classifier.
+    pub identified: MetricScore,
+    /// `identified.median - spec_routed.median` (positive = the classifier
+    /// path is worse).
+    pub delta: f64,
+    /// Hold-one-family-out generalization rows, [`VcaFamily::ALL`] order.
+    pub cross_vca: Vec<CrossVcaRow>,
+}
+
+/// Run a named-scenario suite with both banks attached on `jobs`
+/// workers, returning each scenario's joined windows and fingerprint.
+/// Output order and bytes are independent of `jobs`.
+pub fn infer_identify_suite(
+    scenarios: &[(String, ScenarioSpec)],
+    jobs: usize,
+) -> Vec<(Vec<WindowRow>, CallFingerprint)> {
+    run_indexed(scenarios.len(), jobs, |i| {
+        let (out, fp) = run_spec_infer_identify(&scenarios[i].1);
+        (join_windows(&scenarios[i].0, &out), fp)
+    })
+}
+
+/// Score the identified-routing comparison over precomputed suite runs
+/// (from [`infer_identify_suite`]): each scenario's windows are scored
+/// through the per-family model selected (a) by the spec's kind and (b)
+/// by the centroid classifier, pooling errors across the whole suite
+/// before taking medians. Also fits hold-one-family-out models over the
+/// same rows for the cross-VCA generalization experiment.
+pub fn routed_report(
+    scenarios: &[(String, ScenarioSpec)],
+    runs: &[(Vec<WindowRow>, CallFingerprint)],
+    models: &KindModels,
+    classifier: &CentroidModel,
+) -> RoutedReport {
+    let fallback = LinearModel::builtin();
+    let model_for = |family: VcaFamily| -> &dyn Estimator {
+        models
+            .get(family.name())
+            .map(|m| m as &dyn Estimator)
+            .unwrap_or(&fallback)
+    };
+    let mut rows_out = Vec::new();
+    let mut spec_errs = Vec::new();
+    let mut ident_errs = Vec::new();
+    let mut correct = 0usize;
+    let mut by_family: [Vec<WindowRow>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for ((name, spec), (rows, fp)) in scenarios.iter().zip(runs.iter()) {
+        let truth = spec_family(spec);
+        let predicted = classifier.classify(fp);
+        if predicted == truth {
+            correct += 1;
+        }
+        spec_errs.extend(bitrate_errors(rows, model_for(truth)));
+        ident_errs.extend(bitrate_errors(rows, model_for(predicted)));
+        by_family[truth.index()].extend(rows.iter().cloned());
+        rows_out.push(RoutedScenario {
+            scenario: name.clone(),
+            truth,
+            predicted,
+            windows: rows.len(),
+        });
+    }
+    let cross_vca = VcaFamily::ALL
+        .iter()
+        .map(|&held_out| {
+            let held_rows = &by_family[held_out.index()];
+            let others: Vec<WindowRow> = VcaFamily::ALL
+                .iter()
+                .filter(|&&f| f != held_out)
+                .flat_map(|&f| by_family[f.index()].iter().cloned())
+                .collect();
+            let median = |m: Option<LinearModel>| {
+                m.map(|m| {
+                    MetricScore::from_errors(bitrate_errors(held_rows, &m)).median_rel_err
+                })
+                .unwrap_or(f64::NAN)
+            };
+            let in_domain_median = median(fit_model(held_rows));
+            let transfer_median = median(fit_model(&others));
+            CrossVcaRow {
+                held_out,
+                windows: held_rows.len(),
+                in_domain_median,
+                transfer_median,
+                gap: transfer_median - in_domain_median,
+            }
+        })
+        .collect();
+    let spec_routed = MetricScore::from_errors(spec_errs);
+    let identified = MetricScore::from_errors(ident_errs);
+    RoutedReport {
+        id_accuracy: if scenarios.is_empty() {
+            1.0
+        } else {
+            correct as f64 / scenarios.len() as f64
+        },
+        delta: identified.median_rel_err - spec_routed.median_rel_err,
+        scenarios: rows_out,
+        spec_routed,
+        identified,
+        cross_vca,
+    }
+}
+
+/// Render the routed report as deterministic text.
+pub fn render_routed_report(report: &RoutedReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "identified routing: {} scenarios, id accuracy {:.3}\n",
+        report.scenarios.len(),
+        report.id_accuracy
+    ));
+    for sc in &report.scenarios {
+        let mark = if sc.predicted == sc.truth { ' ' } else { '!' };
+        s.push_str(&format!(
+            "  {:<28} truth={:<5} routed={:<5}{} windows={}\n",
+            sc.scenario,
+            sc.truth.name(),
+            sc.predicted.name(),
+            mark,
+            sc.windows
+        ));
+    }
+    s.push_str(&format!(
+        "bitrate error (pooled median): spec-routed {:.2}%  identified {:.2}%  delta {:+.2}pp\n",
+        report.spec_routed.median_rel_err * 100.0,
+        report.identified.median_rel_err * 100.0,
+        report.delta * 100.0,
+    ));
+    s.push_str("cross-VCA generalization (hold one family out):\n");
+    for row in &report.cross_vca {
+        s.push_str(&format!(
+            "  held-out {:<5} windows={:<5} in-domain {:.2}%  transfer {:.2}%  gap {:+.2}pp\n",
+            row.held_out.name(),
+            row.windows,
+            row.in_domain_median * 100.0,
+            row.transfer_median * 100.0,
+            row.gap * 100.0,
+        ));
+    }
+    s
+}
+
+/// Fit the per-family model bundle from suite runs grouped by
+/// ground-truth family (used by `repro infer --identify --fit`;
+/// families whose rows produce a degenerate fit are dropped).
+pub fn fit_kind_models(
+    scenarios: &[(String, ScenarioSpec)],
+    runs: &[(Vec<WindowRow>, CallFingerprint)],
+) -> KindModels {
+    let mut by_family: [Vec<WindowRow>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for ((_, spec), (rows, _)) in scenarios.iter().zip(runs.iter()) {
+        by_family[spec_family(spec).index()].extend(rows.iter().cloned());
+    }
+    let mut models = Vec::new();
+    for family in VcaFamily::ALL {
+        if let Some(m) = fit_model(&by_family[family.index()]) {
+            models.push((family.name().to_string(), m));
+        }
+    }
+    KindModels::new(models)
+}
+
+/// Serialize the routed report as a stable JSON artifact (fixed key
+/// order — byte-identical for any `--jobs`).
+pub fn routed_report_json(report: &RoutedReport) -> String {
+    use serde_json::{Map, Value};
+    let mut root = Map::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("vcabench-routed-report/v1".to_string()),
+    );
+    root.insert("id_accuracy".to_string(), Value::F64(report.id_accuracy));
+    root.insert(
+        "spec_routed_median".to_string(),
+        Value::F64(report.spec_routed.median_rel_err),
+    );
+    root.insert(
+        "identified_median".to_string(),
+        Value::F64(report.identified.median_rel_err),
+    );
+    root.insert("delta".to_string(), Value::F64(report.delta));
+    root.insert(
+        "scenarios".to_string(),
+        Value::Array(
+            report
+                .scenarios
+                .iter()
+                .map(|sc| {
+                    let mut o = Map::new();
+                    o.insert("name".to_string(), Value::String(sc.scenario.clone()));
+                    o.insert(
+                        "truth".to_string(),
+                        Value::String(sc.truth.name().to_string()),
+                    );
+                    o.insert(
+                        "predicted".to_string(),
+                        Value::String(sc.predicted.name().to_string()),
+                    );
+                    o.insert("windows".to_string(), Value::U64(sc.windows as u64));
+                    Value::Object(o)
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "cross_vca".to_string(),
+        Value::Array(
+            report
+                .cross_vca
+                .iter()
+                .map(|row| {
+                    let mut o = Map::new();
+                    o.insert(
+                        "held_out".to_string(),
+                        Value::String(row.held_out.name().to_string()),
+                    );
+                    o.insert("windows".to_string(), Value::U64(row.windows as u64));
+                    o.insert(
+                        "in_domain_median".to_string(),
+                        Value::F64(row.in_domain_median),
+                    );
+                    o.insert(
+                        "transfer_median".to_string(),
+                        Value::F64(row.transfer_median),
+                    );
+                    o.insert("gap".to_string(), Value::F64(row.gap));
+                    Value::Object(o)
+                })
+                .collect(),
+        ),
+    );
+    let mut text = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable report");
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::unshaped_two_party;
+    use vcabench_telemetry::{events_jsonl, replay_jsonl, EventLog};
+
+    #[test]
+    fn families_cover_every_kind() {
+        for kind in VcaKind::ALL {
+            let fam = family_of(kind);
+            assert!(VcaFamily::ALL.contains(&fam));
+        }
+        assert_eq!(family_of(VcaKind::ZoomChrome), VcaFamily::Zoom);
+        assert_eq!(family_of(VcaKind::TeamsChrome), VcaFamily::Teams);
+    }
+
+    #[test]
+    fn fingerprint_taps_mirror_inference_taps() {
+        for spec in [
+            unshaped_two_party(VcaKind::Meet, 5.0, 1),
+            training_suite(true)
+                .into_iter()
+                .find(|(n, _)| n.contains("competition"))
+                .expect("competition training scenario")
+                .1,
+        ] {
+            let infer_taps = taps_for(&spec);
+            let [up, down] = fp_taps_for(&spec);
+            assert_eq!(up.link, infer_taps.send.link);
+            assert_eq!(up.flow, infer_taps.send.flow);
+            assert_eq!(up.vantage, Vantage::Send);
+            assert_eq!(down.link, infer_taps.recv.link);
+            assert_eq!(down.flow, infer_taps.recv.flow);
+            assert_eq!(down.vantage, Vantage::Recv);
+        }
+    }
+
+    #[test]
+    fn live_and_offline_fingerprints_are_identical() {
+        let spec = unshaped_two_party(VcaKind::Zoom, 8.0, 7);
+        let live = run_spec_fingerprint(&spec);
+        let (tel, log) = Telemetry::with_log(EventLog::unbounded());
+        crate::campaign::run_spec_telemetry(&spec, &tel);
+        let jsonl = events_jsonl(&log.borrow());
+        let mut bank = FingerprintBank::new(&fp_taps_for(&spec));
+        replay_jsonl(&jsonl, &mut bank).expect("replay");
+        // Two-party runs end exactly at the spec duration.
+        let end = SimTime::ZERO + vcabench_simcore::SimDuration::from_secs_f64(8.0);
+        let offline = bank.finish(end);
+        let offline = CallFingerprint {
+            up: offline[0].clone(),
+            down: offline[1].clone(),
+        };
+        assert_eq!(live, offline);
+        assert!(live.up.video_pkts > 0, "uplink saw media");
+    }
+
+    #[test]
+    fn suite_and_report_are_independent_of_jobs() {
+        let scenarios: Vec<(String, ScenarioSpec)> = VcaKind::NATIVE
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                (
+                    format!("two_party_{}", vcabench_campaign::slug(kind.name())),
+                    unshaped_two_party(kind, 6.0, i as u64 + 1),
+                )
+            })
+            .collect();
+        let one = fingerprint_suite(&scenarios, 1);
+        let many = fingerprint_suite(&scenarios, 4);
+        assert_eq!(one, many);
+        let model = CentroidModel::builtin();
+        let r1 = build_identify_report(&one, &model);
+        let r2 = build_identify_report(&many, &model);
+        assert_eq!(identify_report_json(&r1), identify_report_json(&r2));
+        assert_eq!(render_identify_report(&r1), render_identify_report(&r2));
+    }
+
+    #[test]
+    fn dual_bank_matches_the_single_purpose_paths() {
+        let spec = unshaped_two_party(VcaKind::Teams, 6.0, 5);
+        let (out, fp) = run_spec_infer_identify(&spec);
+        let solo_infer = crate::infer::run_spec_infer(&spec);
+        let solo_fp = run_spec_fingerprint(&spec);
+        assert_eq!(out.send, solo_infer.send);
+        assert_eq!(out.recv, solo_infer.recv);
+        assert_eq!(fp, solo_fp);
+    }
+
+    #[test]
+    fn classifier_scores_count_a_known_confusion() {
+        use VcaFamily::{Meet, Teams, Zoom};
+        let s = score_classifier(
+            "test",
+            &[(Meet, Meet), (Meet, Teams), (Teams, Teams), (Zoom, Zoom)],
+        );
+        assert_eq!(s.confusion[0], [1, 1, 0]);
+        assert!((s.accuracy - 0.75).abs() < 1e-12);
+        assert!((s.recall[0] - 0.5).abs() < 1e-12);
+        assert!((s.precision[1] - 0.5).abs() < 1e-12);
+        assert_eq!(s.precision[2], 1.0);
+    }
+
+    #[test]
+    fn training_suite_is_pinned_and_valid() {
+        for quick in [false, true] {
+            let suite = training_suite(quick);
+            assert_eq!(suite.len(), 18);
+            for (name, spec) in &suite {
+                assert!(name.starts_with("train_"), "{name}");
+                spec.validate().expect("training spec valid");
+            }
+            // Every family appears, and shaped + congested regimes are in.
+            for fam in VcaFamily::ALL {
+                let n = suite
+                    .iter()
+                    .filter(|(_, s)| spec_family(s) == fam)
+                    .count();
+                assert_eq!(n, 6, "{} scenarios for {}", n, fam.name());
+            }
+        }
+    }
+}

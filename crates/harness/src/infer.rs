@@ -104,7 +104,35 @@ pub fn run_spec_infer_metered(spec: &ScenarioSpec) -> (InferOutcome, EngineStats
     let taps = taps_for(spec);
     let bank = Rc::new(RefCell::new(TapBank::new(&[taps.send, taps.recv])));
     let tel = Telemetry::attach(bank.clone());
-    let (stats, duration, engine) = match spec.normalized() {
+    let (stats, duration, engine) = run_spec_tapped(spec, &tel);
+    drop(tel);
+    let bank = Rc::try_unwrap(bank)
+        .expect("run finished; the extractor bank has a sole owner")
+        .into_inner();
+    let mut windows = bank.finish(duration);
+    let recv = windows.pop().expect("recv tap");
+    let send = windows.pop().expect("send tap");
+    (
+        InferOutcome {
+            send,
+            recv,
+            stats,
+            duration,
+        },
+        engine,
+    )
+}
+
+/// Run one scenario with an already-attached telemetry handle, returning
+/// C1's raw per-second stats, the simulated end time, and the engine's
+/// counters. Shared by the inference and fingerprinting harness paths —
+/// both attach a passive [`vcabench_telemetry::Recorder`] and need the
+/// same per-scenario-type dispatch.
+pub(crate) fn run_spec_tapped(
+    spec: &ScenarioSpec,
+    tel: &Telemetry,
+) -> (Vec<StatsSample>, SimTime, EngineStats) {
+    match spec.normalized() {
         ScenarioSpec::TwoParty(s) => {
             let duration = SimDuration::from_secs_f64(s.duration_secs);
             let knobs = s.knobs.clone();
@@ -114,7 +142,7 @@ pub fn run_spec_infer_metered(spec: &ScenarioSpec) -> (InferOutcome, EngineStats
                 s.down.clone(),
                 duration,
                 s.seed,
-                &tel,
+                tel,
                 |c1| apply_knobs(knobs.as_ref(), c1),
             );
             (out.c1_stats, out.duration, engine)
@@ -133,7 +161,7 @@ pub fn run_spec_infer_metered(spec: &ScenarioSpec) -> (InferOutcome, EngineStats
                 total: SimDuration::from_secs_f64(s.total_secs.expect("normalized")),
                 seed: s.seed,
             };
-            let (out, engine) = run_competition_metered(&cfg, &tel);
+            let (out, engine) = run_competition_metered(&cfg, tel);
             (out.c1_stats, out.duration, engine)
         }
         ScenarioSpec::Multiparty(s) => {
@@ -144,27 +172,11 @@ pub fn run_spec_infer_metered(spec: &ScenarioSpec) -> (InferOutcome, EngineStats
                 s.pin_c1.expect("normalized"),
                 duration,
                 s.seed,
-                &tel,
+                tel,
             );
             (out.c1_stats, SimTime::ZERO + duration, engine)
         }
-    };
-    drop(tel);
-    let bank = Rc::try_unwrap(bank)
-        .expect("run finished; the extractor bank has a sole owner")
-        .into_inner();
-    let mut windows = bank.finish(duration);
-    let recv = windows.pop().expect("recv tap");
-    let send = windows.pop().expect("send tap");
-    (
-        InferOutcome {
-            send,
-            recv,
-            stats,
-            duration,
-        },
-        engine,
-    )
+    }
 }
 
 /// One joined window: passive features plus the ground truth the
@@ -259,7 +271,9 @@ pub struct MetricScore {
 }
 
 impl MetricScore {
-    fn from_errors(mut errs: Vec<f64>) -> MetricScore {
+    /// Summarize a pool of absolute relative errors (deterministic: the
+    /// pool is sorted with `total_cmp` before percentiles are read).
+    pub fn from_errors(mut errs: Vec<f64>) -> MetricScore {
         errs.sort_by(f64::total_cmp);
         let pct = |p: f64| -> f64 {
             if errs.is_empty() {
@@ -313,6 +327,29 @@ pub struct EstimatorScore {
     pub fps: MetricScore,
     /// Freeze precision/recall (recv tap only).
     pub freeze: FreezeScore,
+}
+
+/// Pooled absolute relative bitrate errors of one estimator over joined
+/// rows — send and recv taps alike, with the same near-zero ground-truth
+/// floor [`score`] applies. The raw pool lets callers (e.g. the
+/// fingerprint-routed comparison) merge errors across differently-routed
+/// scenario groups before taking a median.
+pub fn bitrate_errors(rows: &[WindowRow], est: &dyn Estimator) -> Vec<f64> {
+    let rel = |est: f64, gt: f64| (est - gt).abs() / gt;
+    let mut errs = Vec::new();
+    for row in rows {
+        if let Some(gt) = row.gt_send_mbps {
+            if gt >= MIN_GT_MBPS {
+                errs.push(rel(est.estimate(&row.send).media_mbps, gt));
+            }
+        }
+        if let Some(gt) = row.gt_recv_mbps {
+            if gt >= MIN_GT_MBPS {
+                errs.push(rel(est.estimate(&row.recv).media_mbps, gt));
+            }
+        }
+    }
+    errs
 }
 
 /// Score one estimator over joined rows.

@@ -15,6 +15,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod fingerprint;
 pub mod infer;
 pub mod profile;
 pub mod render;
@@ -23,6 +24,14 @@ pub mod telemetry;
 
 pub use campaign::{
     run_campaign, run_campaign_cached, run_spec, run_spec_metered, run_spec_telemetry,
+};
+pub use fingerprint::{
+    build_identify_report, family_of, fingerprint_suite, fit_centroid, fit_kind_models,
+    fp_taps_for, identify_report_json, infer_identify_suite, render_identify_report,
+    render_routed_report, routed_report, routed_report_json, run_spec_fingerprint,
+    run_spec_fingerprint_metered, run_spec_infer_identify, spec_family, spec_kind,
+    training_suite, IdentifyReport, LabeledFingerprint, RoutedReport, DEFAULT_MAX_ROUTED_DELTA,
+    DEFAULT_MIN_ID_ACCURACY,
 };
 pub use infer::{
     build_report, fit_model, infer_report_json, infer_suite, join_windows, render_infer_report,

@@ -35,4 +35,7 @@ pub use features::{
     Extractor, TapBank, TapSpec, Vantage, WindowFeatures, AUDIO_WIRE, FULL_WIRE, HEADER_BYTES,
     VIDEO_MIN_WIRE,
 };
-pub use model::{feature_vector, LinearModel, FEATURE_NAMES, MODEL_SCHEMA, NUM_FEATURES};
+pub use model::{
+    feature_vector, KindModels, LinearModel, FEATURE_NAMES, KIND_MODEL_SCHEMA, MODEL_SCHEMA,
+    NUM_FEATURES,
+};

@@ -173,6 +173,139 @@ impl LinearModel {
     }
 }
 
+/// Schema tag of the per-kind model bundle artifact.
+pub const KIND_MODEL_SCHEMA: &str = "vcabench-infer-linear-kinds/v1";
+
+/// A bundle of per-application calibrated models, keyed by application
+/// family name (`"Meet"`, `"Teams"`, `"Zoom"` — string keys so this
+/// crate stays free of the application-model layer).
+///
+/// One global [`LinearModel`] must average over every sender's FEC
+/// habit; a per-kind model can discount exactly its own application's
+/// overhead. The flow-level identification stage (`vcabench-fingerprint`)
+/// selects which entry to apply — `repro infer --identify` routes each
+/// run through the classifier instead of reading the kind from the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindModels {
+    /// `(family name, model)` pairs, sorted by name (artifact order).
+    pub models: Vec<(String, LinearModel)>,
+}
+
+impl KindModels {
+    /// Build from pairs; keys are sorted for a canonical artifact.
+    pub fn new(mut models: Vec<(String, LinearModel)>) -> KindModels {
+        models.sort_by(|a, b| a.0.cmp(&b.0));
+        KindModels { models }
+    }
+
+    /// The model for a family name, if present.
+    pub fn get(&self, name: &str) -> Option<&LinearModel> {
+        self.models
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+    }
+
+    /// The committed per-kind bundle, compiled into the crate.
+    pub fn builtin() -> KindModels {
+        KindModels::from_json(include_str!("../models/linear-kinds-v1.json"))
+            .expect("committed per-kind model artifact is valid")
+    }
+
+    /// Serialize to the versioned artifact format (pretty JSON, fixed
+    /// key order — artifacts are diffed and committed).
+    pub fn to_json(&self) -> String {
+        let mut m = Map::new();
+        m.insert(
+            "schema".to_string(),
+            Value::String(KIND_MODEL_SCHEMA.to_string()),
+        );
+        m.insert(
+            "features".to_string(),
+            Value::Array(
+                FEATURE_NAMES
+                    .iter()
+                    .map(|n| Value::String(n.to_string()))
+                    .collect(),
+            ),
+        );
+        let arr = |w: &[f64]| Value::Array(w.iter().map(|&v| Value::F64(v)).collect());
+        let mut kinds = Map::new();
+        for (name, model) in &self.models {
+            let mut o = Map::new();
+            o.insert("bitrate".to_string(), arr(&model.bitrate));
+            o.insert("fps".to_string(), arr(&model.fps));
+            kinds.insert(name.clone(), Value::Object(o));
+        }
+        m.insert("kinds".to_string(), Value::Object(kinds));
+        let mut s = serde_json::to_string_pretty(&Value::Object(m)).expect("serializable models");
+        s.push('\n');
+        s
+    }
+
+    /// Parse and validate an artifact.
+    pub fn from_json(text: &str) -> Result<KindModels, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("kind models: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("kind models: missing schema tag")?;
+        if schema != KIND_MODEL_SCHEMA {
+            return Err(format!(
+                "kind models: schema `{schema}`, expected `{KIND_MODEL_SCHEMA}`"
+            ));
+        }
+        let features: Vec<&str> = v
+            .get("features")
+            .and_then(|f| f.as_array())
+            .map(|a| a.iter().filter_map(|x| x.as_str()).collect())
+            .ok_or("kind models: missing features list")?;
+        if features != FEATURE_NAMES {
+            return Err(format!(
+                "kind models: feature list {features:?} does not match {FEATURE_NAMES:?}"
+            ));
+        }
+        let kinds = v
+            .get("kinds")
+            .and_then(|k| k.as_object())
+            .ok_or("kind models: missing `kinds` object")?;
+        if kinds.is_empty() {
+            return Err("kind models: empty `kinds` object".to_string());
+        }
+        let weights = |o: &Value, name: &str, key: &str| -> Result<[f64; NUM_FEATURES + 1], String> {
+            let arr = o
+                .get(key)
+                .and_then(|w| w.as_array())
+                .ok_or(format!("kind models: `{name}` missing `{key}` weights"))?;
+            if arr.len() != NUM_FEATURES + 1 {
+                return Err(format!(
+                    "kind models: `{name}.{key}` has {} weights, expected {}",
+                    arr.len(),
+                    NUM_FEATURES + 1
+                ));
+            }
+            let mut out = [0.0; NUM_FEATURES + 1];
+            for (i, x) in arr.iter().enumerate() {
+                out[i] = x
+                    .as_f64()
+                    .ok_or(format!("kind models: `{name}.{key}[{i}]` is not a number"))?;
+            }
+            Ok(out)
+        };
+        let mut models = Vec::new();
+        for (name, o) in kinds.iter() {
+            models.push((
+                name.clone(),
+                LinearModel {
+                    bitrate: weights(o, name, "bitrate")?,
+                    fps: weights(o, name, "fps")?,
+                },
+            ));
+        }
+        Ok(KindModels::new(models))
+    }
+}
+
 /// Normal-equations weighted ridge fit for one target.
 fn fit_one(
     rows: &[([f64; NUM_FEATURES], f64, f64)],

@@ -266,7 +266,8 @@ impl<P> Link<P> {
         let pkt = self.in_service.take().expect("LinkReady with idle link");
         *self.stats.delivered.entry(pkt.flow).or_default() += 1;
         *self.stats.delivered_bytes.entry(pkt.flow).or_default() += pkt.size as u64;
-        self.traces.record(pkt.flow, now, pkt.size);
+        self.traces
+            .record_packet(pkt.flow, now, pkt.size, pkt.src, pkt.dst);
         let next_done = self.queue.pop_front().map(|next| {
             self.queued_bytes -= next.size;
             let done = now + transmission_time(next.size, self.rate_at(now));

@@ -7,7 +7,7 @@
 
 use vcabench_simcore::{SimDuration, SimTime};
 
-use crate::packet::FlowId;
+use crate::packet::{FlowId, NodeId};
 
 /// Default bin width used by all experiments (100 ms).
 pub const DEFAULT_BIN: SimDuration = SimDuration::from_millis(100);
@@ -108,6 +108,32 @@ impl BinTrace {
     }
 }
 
+/// Endpoint and volume metadata of one flow as seen on one link.
+///
+/// A passive fingerprinting stage needs to know, per flow, which way the
+/// traffic is heading and how much of it there is — without parsing any
+/// payload. The link records the source/destination node of the first
+/// packet it delivers for the flow (routing is static, so every later
+/// packet agrees) plus running packet/byte totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEndpoints {
+    /// Originating node of the flow's packets.
+    pub src: NodeId,
+    /// Destination node of the flow's packets.
+    pub dst: NodeId,
+    /// Packets delivered on this link for the flow.
+    pub packets: u64,
+    /// Bytes delivered on this link for the flow.
+    pub bytes: u64,
+}
+
+impl FlowEndpoints {
+    /// True if the flow is heading into `node` (its destination).
+    pub fn is_toward(&self, node: NodeId) -> bool {
+        self.dst == node
+    }
+}
+
 /// Traces for every flow crossing a link, plus the aggregate.
 ///
 /// A link carries a handful of flows, and packets arrive in trains, so the
@@ -121,6 +147,8 @@ pub struct FlowTraces {
     per_flow: Vec<(FlowId, BinTrace)>,
     /// Index of the flow the previous `record` hit.
     last_hit: usize,
+    /// Per-flow endpoint metadata, sorted by flow id.
+    endpoints: Vec<(FlowId, FlowEndpoints)>,
     total: BinTrace,
 }
 
@@ -136,6 +164,7 @@ impl FlowTraces {
             bin,
             per_flow: Vec::new(),
             last_hit: 0,
+            endpoints: Vec::new(),
             total: BinTrace::new(bin),
         }
     }
@@ -155,6 +184,49 @@ impl FlowTraces {
         self.last_hit = idx;
         self.per_flow[idx].1.record(t, bytes);
         self.total.record(t, bytes);
+    }
+
+    /// Record `bytes` of `flow` at `t` along with the packet's endpoints
+    /// (the delivery path calls this; [`FlowTraces::record`] stays for
+    /// rate-only callers and tests).
+    pub fn record_packet(&mut self, flow: FlowId, t: SimTime, bytes: usize, src: NodeId, dst: NodeId) {
+        self.record(flow, t, bytes);
+        let idx = match self.endpoints.binary_search_by_key(&flow.0, |(f, _)| f.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.endpoints.insert(
+                    i,
+                    (
+                        flow,
+                        FlowEndpoints {
+                            src,
+                            dst,
+                            packets: 0,
+                            bytes: 0,
+                        },
+                    ),
+                );
+                i
+            }
+        };
+        let meta = &mut self.endpoints[idx].1;
+        meta.packets += 1;
+        meta.bytes += bytes as u64;
+    }
+
+    /// Endpoint metadata of a single flow, if any packet was delivered
+    /// with endpoints recorded.
+    pub fn endpoints(&self, flow: FlowId) -> Option<&FlowEndpoints> {
+        self.endpoints
+            .binary_search_by_key(&flow.0, |(f, _)| f.0)
+            .ok()
+            .map(|i| &self.endpoints[i].1)
+    }
+
+    /// All flows with endpoint metadata, in ascending flow-id order (the
+    /// backing store is kept sorted, so this is deterministic).
+    pub fn flow_endpoints(&self) -> impl Iterator<Item = (FlowId, &FlowEndpoints)> {
+        self.endpoints.iter().map(|(f, m)| (*f, m))
     }
 
     /// Trace of a single flow, if it ever sent.
@@ -315,6 +387,41 @@ mod tests {
         }
         let ids: Vec<u64> = ft.flows().map(|f| f.0).collect();
         assert_eq!(ids, vec![1, 2, 5, 8, 9, 13, 21, 33]);
+    }
+
+    #[test]
+    fn flow_endpoints_iterate_in_sorted_order() {
+        let mut ft = FlowTraces::new();
+        for id in [9u64, 2, 33, 5, 1, 21, 8, 13] {
+            ft.record_packet(
+                FlowId(id),
+                SimTime::from_millis(10),
+                100,
+                NodeId(id as usize),
+                NodeId(id as usize + 1),
+            );
+        }
+        let ids: Vec<u64> = ft.flow_endpoints().map(|(f, _)| f.0).collect();
+        assert_eq!(ids, vec![1, 2, 5, 8, 9, 13, 21, 33]);
+    }
+
+    #[test]
+    fn endpoint_metadata_accumulates_and_reports_direction() {
+        let mut ft = FlowTraces::new();
+        ft.record_packet(FlowId(7), SimTime::from_millis(1), 1000, NodeId(3), NodeId(4));
+        ft.record_packet(FlowId(7), SimTime::from_millis(2), 500, NodeId(3), NodeId(4));
+        let m = ft.endpoints(FlowId(7)).expect("metadata recorded");
+        assert_eq!(m.src, NodeId(3));
+        assert_eq!(m.dst, NodeId(4));
+        assert_eq!(m.packets, 2);
+        assert_eq!(m.bytes, 1500);
+        assert!(m.is_toward(NodeId(4)));
+        assert!(!m.is_toward(NodeId(3)));
+        assert!(ft.endpoints(FlowId(8)).is_none());
+        // Rate-only recording leaves no endpoint metadata behind.
+        ft.record(FlowId(8), SimTime::from_millis(3), 100);
+        assert!(ft.endpoints(FlowId(8)).is_none());
+        assert_eq!(ft.total().total_bytes(), 1600);
     }
 
     #[test]

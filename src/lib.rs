@@ -49,6 +49,7 @@
 //! | [`campaign`] | declarative scenario specs, parallel executor, result cache |
 //! | [`telemetry`] | deterministic event tracing, metrics, trace export, profiler |
 //! | [`infer`] | passive QoE inference from packet traces (features, estimators) |
+//! | [`fingerprint`] | flow-level VCA identification (features, classifiers) |
 //! | [`harness`] | one module per paper table/figure, plus inference validation |
 //! | `bench` | pinned engine benchmarks, the perf gate, and the `repro` binary |
 //!
@@ -60,6 +61,7 @@
 pub use vcabench_apps as apps;
 pub use vcabench_campaign as campaign;
 pub use vcabench_congestion as congestion;
+pub use vcabench_fingerprint as fingerprint;
 pub use vcabench_harness as harness;
 pub use vcabench_infer as infer;
 pub use vcabench_media as media;
@@ -80,6 +82,7 @@ pub mod prelude {
         run_multiparty, run_spec, run_spec_infer, run_spec_traced, run_two_party,
         CompetitionConfig, Competitor, TwoPartyOutcome,
     };
+    pub use vcabench_fingerprint::{CentroidModel, Classifier, FingerprintBank, RuleClassifier, VcaFamily};
     pub use vcabench_infer::{Estimator, HeuristicEstimator, LinearModel, TapBank, Vantage};
     pub use vcabench_netsim::{LinkConfig, Network, RateProfile};
     pub use vcabench_simcore::{SimDuration, SimRng, SimTime};
