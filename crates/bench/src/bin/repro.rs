@@ -9,8 +9,10 @@
 //!             [--max-bitrate-err <x>] [--min-freeze-recall <x>] [--identify]
 //! repro identify [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>]
 //!                [--fit <model.json>] [--min-id-accuracy <x>]
-//! repro validate-trace <file.jsonl>...
-//! repro --profile [--quick]
+//! repro observe [<campaign.json>] [--quick] [--json <path>] [--jobs <n>] [--out <dir>]
+//! repro diff <a> <b> [--jobs <n>] [--out <dir>]
+//! repro validate-trace [--strict] <file.jsonl>...
+//! repro --profile [--quick] [--json <path>]
 //! ```
 //!
 //! `--quick` uses reduced presets (coarser sweeps, fewer repetitions);
@@ -19,7 +21,15 @@
 //! campaign) without changing any output byte;
 //! `--trace-dir <dir>` writes per-run telemetry artifacts (JSONL event
 //! trace, series CSV, manifest) next to the campaign result cache;
-//! `validate-trace` checks JSONL traces against the versioned schema;
+//! `validate-trace` checks JSONL traces against the versioned schema and
+//! reports events dropped by a bounded ring (from the sibling manifest);
+//! `observe` runs the streaming span/anomaly diagnoser over the pinned
+//! disruption suite (gated: the seeded disruption → queue-buildup →
+//! freeze chain must be found, unconstrained runs must diagnose clean)
+//! or over a campaign spec's expanded runs (report only);
+//! `diff` compares two exported `.events.jsonl` traces — or two campaign
+//! trace directories, matched by label — via offline diagnosis and
+//! writes a `vcabench-diff/v1` artifact;
 //! `bench` runs the pinned engine benchmark suite, writes a versioned
 //! `BENCH_<label>.json` artifact, and (with `--baseline`) exits nonzero if
 //! any scenario's wall time regresses past the threshold;
@@ -101,8 +111,13 @@ fn print_help() {
          [--fit <model.json>]"
     );
     println!("                   [--min-id-accuracy <x>]");
-    println!("       repro validate-trace <file.jsonl>...");
-    println!("       repro --profile [--quick]");
+    println!(
+        "       repro observe [<campaign.json>] [--quick] [--json <path>] [--jobs <n>] \
+         [--out <dir>]"
+    );
+    println!("       repro diff <a> <b> [--jobs <n>] [--out <dir>]");
+    println!("       repro validate-trace [--strict] <file.jsonl>...");
+    println!("       repro --profile [--quick] [--json <path>]");
     println!();
     println!("experiments:");
     for (name, desc) in EXPERIMENTS {
@@ -130,9 +145,24 @@ fn print_help() {
     println!("                        the spec ground truth (confusion matrix, per-VCA");
     println!("                        precision/recall); exit 1 if the frozen centroid");
     println!("                        model misses the accuracy gate");
+    println!("  observe [<campaign.json>]");
+    println!("                        run the streaming span/anomaly diagnoser over the");
+    println!("                        pinned disruption suite (or a campaign spec's");
+    println!("                        expanded runs), print per-run health reports, and");
+    println!("                        write OBSERVE_report.json plus per-run span JSONL;");
+    println!("                        in pinned mode, exit 1 unless every disrupted run");
+    println!("                        carries the disruption->queue-buildup->freeze");
+    println!("                        chain and every unconstrained run is clean");
+    println!("  diff <a> <b>          diagnose two exported .events.jsonl traces (or two");
+    println!("                        campaign trace directories, matched by label) and");
+    println!("                        report per-window metric deltas, appearing and");
+    println!("                        disappearing anomalies, and span-duration shifts;");
+    println!("                        writes a vcabench-diff/v1 DIFF_report.json");
     println!("  validate-trace <file.jsonl>...");
     println!("                        validate JSONL event traces against the");
-    println!("                        telemetry schema (exit 1 on any violation)");
+    println!("                        telemetry schema (exit 1 on any violation) and");
+    println!("                        report events dropped by a bounded ring, read");
+    println!("                        from the sibling .manifest.json when present");
     println!();
     println!("options:");
     println!("  --quick            reduced presets (coarser sweeps, fewer repetitions)");
@@ -140,9 +170,11 @@ fn print_help() {
     println!("  --jobs <n>         worker threads for campaign-driven runs (default 1;");
     println!("                     output is byte-identical for any n)");
     println!("  --out <dir>        campaign result-store directory (campaign; default");
-    println!("                     campaign-results/) or bench artifact directory");
-    println!("                     (bench; default bench-results/)");
+    println!("                     campaign-results/) or artifact directory (bench,");
+    println!("                     infer, identify, observe, diff)");
     println!("  --rerun            recompute cached campaign runs");
+    println!("  --strict           (validate-trace only) exit 1 when a manifest reports");
+    println!("                     dropped events");
     println!("  --baseline <file>  (bench only) BENCH_*.json to diff against");
     println!("  --label <name>     (bench only) artifact label (default: the mode,");
     println!("                     `full` or `quick`)");
@@ -182,7 +214,10 @@ fn print_help() {
         vcabench_harness::infer::DEFAULT_MIN_FREEZE_RECALL
     );
     println!("  --profile          profile the simulation engine on a fixed two-party");
-    println!("                     workload and print where wall-clock time goes");
+    println!("                     workload and print where wall-clock time goes,");
+    println!("                     including per-event-type p50/p90/p99 latencies;");
+    println!("                     with --json, also write a vcabench-profile/v1");
+    println!("                     artifact");
 }
 
 struct Args {
@@ -204,6 +239,7 @@ struct Args {
     min_freeze_recall: Option<f64>,
     identify: bool,
     min_id_accuracy: Option<f64>,
+    strict: bool,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -229,11 +265,13 @@ fn parse_args() -> Args {
     let mut min_freeze_recall = None;
     let mut identify = false;
     let mut min_id_accuracy = None;
+    let mut strict = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--rerun" => rerun = true,
+            "--strict" => strict = true,
             "--profile" => profile = true,
             "--identify" => identify = true,
             "--trace-dir" => {
@@ -368,9 +406,18 @@ fn parse_args() -> Args {
         }
         trace_paths = positionals[1..].to_vec();
         None
+    } else if experiment == "diff" {
+        match positionals.len() {
+            0..=2 => usage_error("diff requires two sides: repro diff <a> <b>"),
+            3 => {
+                trace_paths = positionals[1..].to_vec();
+                None
+            }
+            _ => usage_error(&format!("unexpected argument `{}`", positionals[3])),
+        }
     } else if experiment == "profile" {
         None
-    } else if experiment == "infer" || experiment == "identify" {
+    } else if experiment == "infer" || experiment == "identify" || experiment == "observe" {
         match positionals.len() {
             1 => None,
             2 => Some(positionals[1].clone()),
@@ -418,6 +465,9 @@ fn parse_args() -> Args {
     if experiment != "identify" && min_id_accuracy.is_some() {
         usage_error("--min-id-accuracy only applies to the identify subcommand");
     }
+    if experiment != "validate-trace" && strict {
+        usage_error("--strict only applies to the validate-trace subcommand");
+    }
     if identify && (max_bitrate_err.is_some() || min_freeze_recall.is_some()) {
         usage_error(
             "--max-bitrate-err/--min-freeze-recall gate the spec-routed report; \
@@ -443,6 +493,7 @@ fn parse_args() -> Args {
         min_freeze_recall,
         identify,
         min_id_accuracy,
+        strict,
     }
 }
 
@@ -809,6 +860,26 @@ fn run_identify_command(args: &Args) -> ! {
     std::process::exit(1);
 }
 
+/// Events dropped by a bounded ring, read from the trace's sibling
+/// manifest (`<label>.events.jsonl` → `<label>.manifest.json`). `None`
+/// when there is no manifest next to the trace (loose JSONL files are
+/// fine), `Some(Err)` when a manifest exists but cannot be parsed.
+fn manifest_dropped_events(trace_path: &str) -> Option<Result<u64, String>> {
+    let manifest_path = trace_path.strip_suffix(".events.jsonl")?.to_string() + ".manifest.json";
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(_) => return None,
+    };
+    let parsed = serde_json::from_str::<serde_json::Value>(&text)
+        .map_err(|e| format!("{manifest_path}: {e}"))
+        .and_then(|v| {
+            v.get("events_dropped")
+                .and_then(|d| d.as_u64())
+                .ok_or_else(|| format!("{manifest_path}: missing `events_dropped`"))
+        });
+    Some(parsed)
+}
+
 fn run_validate_trace_command(args: &Args) -> ! {
     let mut failed = false;
     for path in &args.trace_paths {
@@ -823,6 +894,23 @@ fn run_validate_trace_command(args: &Args) -> ! {
                     let kinds: Vec<String> =
                         counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
                     println!("{path}: {total} events OK ({})", kinds.join(", "));
+                    match manifest_dropped_events(path) {
+                        None => {}
+                        Some(Err(e)) => {
+                            eprintln!("repro: {e}");
+                            failed = true;
+                        }
+                        Some(Ok(0)) => {}
+                        Some(Ok(dropped)) => {
+                            println!(
+                                "{path}: warning: {dropped} event(s) dropped by a bounded \
+                                 ring — the trace is incomplete"
+                            );
+                            if args.strict {
+                                failed = true;
+                            }
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("repro: {path}: {e}");
@@ -832,6 +920,199 @@ fn run_validate_trace_command(args: &Args) -> ! {
         }
     }
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn run_observe_command(args: &Args) -> ! {
+    let cfg = vcabench_observe::ObserveConfig::default();
+    // Scenario list: a campaign spec's expanded runs (report only), or
+    // the pinned disruption suite (gated).
+    let (scenarios, gated) = match &args.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("repro: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let campaign = CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("repro: {path}: {e}");
+                std::process::exit(1);
+            });
+            let runs = campaign.expand().unwrap_or_else(|e| {
+                eprintln!("repro: campaign `{}`: {e}", campaign.name);
+                std::process::exit(1);
+            });
+            println!(
+                "observe: campaign `{}`, {} runs, {} job(s)",
+                campaign.name,
+                runs.len(),
+                args.jobs
+            );
+            let scenarios = runs
+                .into_iter()
+                .map(|r| vcabench_harness::ObserveScenario {
+                    name: r.label,
+                    expect: None,
+                    spec: r.spec,
+                })
+                .collect();
+            (scenarios, false)
+        }
+        None => {
+            let suite = vcabench_harness::pinned_disruption_suite(args.quick);
+            println!(
+                "observe: pinned disruption suite ({} runs, {} mode), {} job(s)",
+                suite.len(),
+                if args.quick { "quick" } else { "full" },
+                args.jobs
+            );
+            (suite, true)
+        }
+    };
+    let report = vcabench_harness::observe_suite(&scenarios, &cfg, args.jobs);
+    print!("{}", vcabench_harness::render_observe_report(&report));
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("observe-results"));
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    });
+    for run in &report.runs {
+        let spans_path = out_dir.join(format!("{}.spans.jsonl", run.name));
+        std::fs::write(&spans_path, run.diagnosis.timeline.spans_jsonl()).unwrap_or_else(|e| {
+            eprintln!("repro: cannot write {}: {e}", spans_path.display());
+            std::process::exit(1);
+        });
+    }
+    let artifact = out_dir.join("OBSERVE_report.json");
+    let json = vcabench_harness::observe_report_json(&report);
+    std::fs::write(&artifact, &json).unwrap_or_else(|e| {
+        eprintln!("repro: cannot write {}: {e}", artifact.display());
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {} (+ {} span timelines)",
+        artifact.display(),
+        report.runs.len()
+    );
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if !gated {
+        std::process::exit(0);
+    }
+    let failures = vcabench_harness::gate_failures(&report);
+    for f in &failures {
+        println!("gate: {f}");
+    }
+    if failures.is_empty() {
+        println!("observe gate: PASS");
+        std::process::exit(0);
+    }
+    println!("observe gate: FAIL ({} run(s))", failures.len());
+    std::process::exit(1);
+}
+
+/// Offline-diagnose one exported `.events.jsonl` trace.
+fn diagnose_trace_file(
+    path: &std::path::Path,
+    cfg: &vcabench_observe::ObserveConfig,
+) -> vcabench_observe::Diagnosis {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("repro: cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    vcabench_observe::diagnose_jsonl(&text, cfg, None).unwrap_or_else(|e| {
+        eprintln!("repro: {}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+/// Labels of every `<label>.events.jsonl` in a trace directory, sorted.
+fn trace_labels(dir: &std::path::Path) -> Vec<String> {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot read {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let mut labels: Vec<String> = entries
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            Some(name.strip_suffix(".events.jsonl")?.to_string())
+        })
+        .collect();
+    labels.sort();
+    labels
+}
+
+fn run_diff_command(args: &Args) -> ! {
+    let (side_a, side_b) = (&args.trace_paths[0], &args.trace_paths[1]);
+    let (path_a, path_b) = (PathBuf::from(side_a), PathBuf::from(side_b));
+    let cfg = vcabench_observe::ObserveConfig::default();
+    let report = if path_a.is_dir() || path_b.is_dir() {
+        if !(path_a.is_dir() && path_b.is_dir()) {
+            usage_error("diff sides must both be trace files or both be trace directories");
+        }
+        let labels_a = trace_labels(&path_a);
+        let labels_b = trace_labels(&path_b);
+        let shared: Vec<&String> = labels_a.iter().filter(|l| labels_b.contains(l)).collect();
+        println!("diff: {} paired run(s), {} job(s)", shared.len(), args.jobs);
+        let entries = vcabench_campaign::run_indexed(shared.len(), args.jobs, |i| {
+            let label = shared[i];
+            let a = diagnose_trace_file(&path_a.join(format!("{label}.events.jsonl")), &cfg);
+            let b = diagnose_trace_file(&path_b.join(format!("{label}.events.jsonl")), &cfg);
+            vcabench_observe::diff_runs(label, &a, &b)
+        });
+        vcabench_observe::DiffReport {
+            side_a: side_a.clone(),
+            side_b: side_b.clone(),
+            entries,
+            only_a: labels_a
+                .iter()
+                .filter(|l| !labels_b.contains(l))
+                .cloned()
+                .collect(),
+            only_b: labels_b
+                .iter()
+                .filter(|l| !labels_a.contains(l))
+                .cloned()
+                .collect(),
+        }
+    } else {
+        let a = diagnose_trace_file(&path_a, &cfg);
+        let b = diagnose_trace_file(&path_b, &cfg);
+        let label = path_a
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(|n| n.strip_suffix(".events.jsonl").unwrap_or(n).to_string())
+            .unwrap_or_else(|| "trace".to_string());
+        vcabench_observe::DiffReport {
+            side_a: side_a.clone(),
+            side_b: side_b.clone(),
+            entries: vec![vcabench_observe::diff_runs(&label, &a, &b)],
+            only_a: Vec::new(),
+            only_b: Vec::new(),
+        }
+    };
+    print!("{}", report.render());
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("diff-results"));
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    });
+    let artifact = out_dir.join("DIFF_report.json");
+    std::fs::write(&artifact, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("repro: cannot write {}: {e}", artifact.display());
+        std::process::exit(1);
+    });
+    println!("wrote {}", artifact.display());
+    std::process::exit(0);
 }
 
 fn main() {
@@ -844,10 +1125,23 @@ fn main() {
         };
         let profiles = vcabench_harness::profile_engine(duration);
         print!("{}", vcabench_harness::render_profile(&profiles));
+        if let Some(path) = &args.json {
+            std::fs::write(path, vcabench_harness::profile_json(&profiles)).unwrap_or_else(|e| {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+        }
         return;
     }
     if args.experiment == "validate-trace" {
         run_validate_trace_command(&args);
+    }
+    if args.experiment == "observe" {
+        run_observe_command(&args);
+    }
+    if args.experiment == "diff" {
+        run_diff_command(&args);
     }
     if args.experiment == "campaign" {
         run_campaign_command(&args);

@@ -8,8 +8,12 @@
 
 use std::time::Instant;
 
-use vcabench_harness::{run_spec_fingerprint_metered, run_spec_infer_metered, run_spec_metered};
+use vcabench_harness::{
+    run_spec_fingerprint_metered, run_spec_infer_metered, run_spec_metered,
+    run_spec_observe_metered,
+};
 use vcabench_netsim::EngineStats;
+use vcabench_observe::ObserveConfig;
 use vcabench_telemetry::Telemetry;
 
 use crate::report::ScenarioResult;
@@ -18,13 +22,17 @@ use crate::scenario::BenchScenario;
 /// Run one scenario and time it. Inference-stage scenarios run through
 /// [`run_spec_infer_metered`] instead, with the passive tap bank attached;
 /// identification-stage scenarios through [`run_spec_fingerprint_metered`],
-/// with the fingerprint accumulators attached.
+/// with the fingerprint accumulators attached; observability-stage
+/// scenarios through [`run_spec_observe_metered`], with the streaming
+/// span-deriving diagnoser attached.
 pub fn measure(sc: &BenchScenario) -> ScenarioResult {
     let t0 = Instant::now();
     let engine = if sc.infer {
         run_spec_infer_metered(&sc.spec).1
     } else if sc.identify {
         run_spec_fingerprint_metered(&sc.spec).1
+    } else if sc.observe {
+        run_spec_observe_metered(&sc.spec, &ObserveConfig::default()).1
     } else {
         run_spec_metered(&sc.spec, &Telemetry::disabled()).1
     };
@@ -92,6 +100,58 @@ mod tests {
         let r = from_parts(sc, engine, 0.0);
         assert!(r.events_per_sec.is_finite());
         assert!(r.sim_per_wall.is_finite());
+    }
+
+    #[test]
+    fn observe_stage_measures_the_same_workload() {
+        // The observe recorder is a passive tap: the measured engine
+        // counters must match the plain run of the same spec exactly,
+        // or the overhead number would compare different workloads.
+        let sc = pinned(true)
+            .into_iter()
+            .find(|s| s.observe)
+            .expect("suite has an observe stage");
+        let observed = measure(&sc);
+        let plain = vcabench_harness::run_spec_metered(
+            &sc.spec,
+            &vcabench_telemetry::Telemetry::disabled(),
+        )
+        .1;
+        assert_eq!(observed.events_processed, plain.events_processed);
+        assert_eq!(observed.peak_queue_depth, plain.peak_queue_depth);
+        assert!(observed.events_processed > 1000);
+    }
+
+    #[test]
+    fn observe_overhead_stays_within_gate() {
+        // The streaming diagnoser must stay a cheap tap: best-of-5
+        // wall time with the observe recorder attached vs best-of-5
+        // plain, interleaved so ambient noise hits both sides alike.
+        // The 1.1x gate bounds the recorder's hot-path overhead; it is
+        // a claim about optimized code, so unoptimized (debug) runs get
+        // a looser bound — the recorder's constant factors are not what
+        // debug builds measure.
+        let gate = if cfg!(debug_assertions) { 1.5 } else { 1.1 };
+        let sc = pinned(true)
+            .into_iter()
+            .find(|s| s.observe)
+            .expect("suite has an observe stage");
+        let mut with_observe = f64::INFINITY;
+        let mut plain = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            run_spec_observe_metered(&sc.spec, &ObserveConfig::default());
+            with_observe = with_observe.min(t0.elapsed().as_secs_f64());
+            let t1 = Instant::now();
+            run_spec_metered(&sc.spec, &Telemetry::disabled());
+            plain = plain.min(t1.elapsed().as_secs_f64());
+        }
+        let ratio = with_observe / plain.max(1e-9);
+        assert!(
+            ratio <= gate,
+            "observe recorder overhead {ratio:.3}x exceeds the {gate}x gate \
+             (observed {with_observe:.4}s vs plain {plain:.4}s)"
+        );
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct BenchScenario {
     /// `vcabench-fingerprint` accumulators); measures the classifier
     /// feature-extraction overhead on top of the plain engine hot path.
     pub identify: bool,
+    /// Run with the streaming span-deriving diagnoser attached (the
+    /// `vcabench-observe` recorder); measures the observability
+    /// overhead on top of the plain engine hot path.
+    pub observe: bool,
 }
 
 /// All three VCA kinds in pinned order.
@@ -57,6 +61,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             sim_secs: duration_secs,
             infer: false,
             identify: false,
+            observe: false,
         });
     }
     for kind in KINDS {
@@ -80,6 +85,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             sim_secs: total,
             infer: false,
             identify: false,
+            observe: false,
         });
     }
     for kind in KINDS {
@@ -97,6 +103,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             sim_secs: duration_secs,
             infer: false,
             identify: false,
+            observe: false,
         });
     }
     // The inference-stage scenario: a shaped two-party Zoom call (FEC-heavy
@@ -116,6 +123,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
         sim_secs: duration_secs,
         infer: true,
         identify: false,
+        observe: false,
     });
     // The identification-stage scenario: a mixed-shaping two-party Teams
     // call (uplink throttled, downlink open — the two flow accumulators
@@ -136,6 +144,28 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
         sim_secs: duration_secs,
         infer: false,
         identify: true,
+        observe: false,
+    });
+    // The observability-stage scenario: the same shaped two-party Zoom
+    // call as the inference stage (queue- and freeze-heavy, so the span
+    // builder sees every kind of transition) run with the streaming
+    // diagnoser attached, so the benchmark gate tracks the observe
+    // recorder's hot-path overhead too.
+    let duration_secs = if quick { 10.0 } else { 30.0 };
+    out.push(BenchScenario {
+        name: "observe_two_party_zoom".to_string(),
+        spec: ScenarioSpec::TwoParty(TwoPartySpec {
+            kind: VcaKind::Zoom,
+            up: RateProfile::constant_mbps(0.5),
+            down: RateProfile::constant_mbps(1000.0),
+            duration_secs,
+            seed: 1,
+            knobs: None,
+        }),
+        sim_secs: duration_secs,
+        infer: false,
+        identify: false,
+        observe: true,
     });
     out
 }
@@ -148,7 +178,7 @@ mod tests {
     fn suite_is_pinned_and_valid() {
         for quick in [false, true] {
             let suite = pinned(quick);
-            assert_eq!(suite.len(), 11);
+            assert_eq!(suite.len(), 12);
             let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
             assert_eq!(
                 names,
@@ -164,6 +194,7 @@ mod tests {
                     "multiparty_teams",
                     "infer_two_party_zoom",
                     "identify_two_party_mixed",
+                    "observe_two_party_zoom",
                 ]
             );
             for s in &suite {
@@ -184,9 +215,19 @@ mod tests {
                 .map(|s| s.name.as_str())
                 .collect();
             assert_eq!(identify, ["identify_two_party_mixed"]);
-            // No scenario runs both banks: the two overhead measurements
-            // must stay attributable.
-            assert!(suite.iter().all(|s| !(s.infer && s.identify)));
+            // ... and exactly one the observability stage.
+            let observe: Vec<&str> = suite
+                .iter()
+                .filter(|s| s.observe)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(observe, ["observe_two_party_zoom"]);
+            // No scenario runs more than one bank: the per-stage overhead
+            // measurements must stay attributable.
+            assert!(suite.iter().all(|s| usize::from(s.infer)
+                + usize::from(s.identify)
+                + usize::from(s.observe)
+                <= 1));
         }
     }
 

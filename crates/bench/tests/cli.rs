@@ -73,21 +73,21 @@ fn malformed_invocations_exit_2() {
         &["campaign", "x.json", "--min-freeze-recall", "0.8"], // ditto
         &["infer", "--baseline", "/tmp/x"], // bench-only flag on infer
         &["infer", "--trace-dir", "/tmp/x"], // campaign-only flag on infer
-        &["identify", "a.json", "b.json"],  // at most one spec file
-        &["identify", "--fit"],             // missing value
+        &["identify", "a.json", "b.json"], // at most one spec file
+        &["identify", "--fit"],        // missing value
         &["identify", "--min-id-accuracy"], // missing value
         &["identify", "--min-id-accuracy", "1.5"], // must be in [0, 1]
         &["identify", "--min-id-accuracy", "-0.1"],
         &["identify", "--min-id-accuracy", "nan"],
         &["identify", "--max-bitrate-err", "0.1"], // infer-only gate flag
         &["identify", "--min-freeze-recall", "0.8"], // ditto
-        &["identify", "--identify"],        // infer-only flag
-        &["identify", "--baseline", "/tmp/x"], // bench-only flag
-        &["identify", "--trace-dir", "/tmp/x"], // campaign-only flag
-        &["bench", "--identify"],           // not the infer subcommand
-        &["table2", "--identify"],          // ditto
-        &["infer", "--min-id-accuracy", "0.9"], // identify-only flag on infer
-        &["bench", "--min-id-accuracy", "0.9"], // ditto
+        &["identify", "--identify"],               // infer-only flag
+        &["identify", "--baseline", "/tmp/x"],     // bench-only flag
+        &["identify", "--trace-dir", "/tmp/x"],    // campaign-only flag
+        &["bench", "--identify"],                  // not the infer subcommand
+        &["table2", "--identify"],                 // ditto
+        &["infer", "--min-id-accuracy", "0.9"],    // identify-only flag on infer
+        &["bench", "--min-id-accuracy", "0.9"],    // ditto
         &["infer", "--identify", "--max-bitrate-err", "0.1"], // routed gate only
         &["infer", "--identify", "--min-freeze-recall", "0.8"], // ditto
     ];

@@ -148,7 +148,7 @@ impl CentroidModel {
                 *s += v;
             }
         }
-        if counts.iter().any(|&c| c == 0) {
+        if counts.contains(&0) {
             return None;
         }
         let mut centroids = [[0.0f64; NUM_FP_FEATURES]; 3];
@@ -415,13 +415,17 @@ mod tests {
         assert_eq!(m, back);
         assert!(text.contains("\"schema\": \"vcabench-fingerprint-centroid/v1\""));
         let bad = text.replace("centroid/v1", "centroid/v9");
-        assert!(CentroidModel::from_json(&bad).unwrap_err().contains("schema"));
+        assert!(CentroidModel::from_json(&bad)
+            .unwrap_err()
+            .contains("schema"));
         let bad = text.replace("up_video_mbps", "video_mbps_up");
         assert!(CentroidModel::from_json(&bad)
             .unwrap_err()
             .contains("feature list"));
         let bad = text.replace("\"Teams\"", "\"Skype\"");
-        assert!(CentroidModel::from_json(&bad).unwrap_err().contains("family"));
+        assert!(CentroidModel::from_json(&bad)
+            .unwrap_err()
+            .contains("family"));
         assert!(
             CentroidModel::from_json("{\"schema\":\"vcabench-fingerprint-centroid/v1\"}").is_err()
         );

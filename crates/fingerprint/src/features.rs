@@ -53,7 +53,8 @@ pub const NUM_SIZE_CLASSES: usize = 6;
 /// Upper (inclusive) wire-size bound of each histogram class, except the
 /// last, which is open-ended. Classes: RTCP/signaling, audio, three video
 /// bands, full-MTU.
-pub const SIZE_CLASS_BOUNDS: [u64; NUM_SIZE_CLASSES - 1] = [96, AUDIO_WIRE, 500, 1000, FULL_WIRE - 1];
+pub const SIZE_CLASS_BOUNDS: [u64; NUM_SIZE_CLASSES - 1] =
+    [96, AUDIO_WIRE, 500, 1000, FULL_WIRE - 1];
 
 /// Histogram class of a wire size.
 pub fn size_class(bytes: u64) -> usize {

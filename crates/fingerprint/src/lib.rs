@@ -29,7 +29,7 @@ pub mod classifier;
 pub mod features;
 
 pub use classifier::{
-    Classifier, CentroidModel, RuleClassifier, VcaFamily, MODEL_SCHEMA, RULE_MEET_FPS,
+    CentroidModel, Classifier, RuleClassifier, VcaFamily, MODEL_SCHEMA, RULE_MEET_FPS,
     RULE_MEET_FULL_FRACTION, RULE_TEAMS_IAT_CV,
 };
 pub use features::{

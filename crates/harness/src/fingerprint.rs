@@ -21,8 +21,8 @@ use std::rc::Rc;
 
 use vcabench_campaign::{run_indexed, ScenarioSpec};
 use vcabench_fingerprint::{
-    CallFingerprint, CentroidModel, Classifier, FingerprintBank, FlowTap, RuleClassifier,
-    Vantage, VcaFamily, NUM_FP_FEATURES,
+    CallFingerprint, CentroidModel, Classifier, FingerprintBank, FlowTap, RuleClassifier, Vantage,
+    VcaFamily, NUM_FP_FEATURES,
 };
 use vcabench_infer::{Estimator, KindModels, LinearModel, TapBank};
 use vcabench_netsim::EngineStats;
@@ -31,8 +31,8 @@ use vcabench_telemetry::{EventKind, Recorder, Telemetry};
 use vcabench_vca::VcaKind;
 
 use crate::infer::{
-    bitrate_errors, fit_model, join_windows, run_spec_tapped, taps_for, InferOutcome,
-    MetricScore, WindowRow,
+    bitrate_errors, fit_model, join_windows, run_spec_tapped, taps_for, InferOutcome, MetricScore,
+    WindowRow,
 };
 
 /// Default gate: minimum identification accuracy over a suite.
@@ -151,9 +151,7 @@ pub fn fit_centroid(rows: &[LabeledFingerprint]) -> Option<CentroidModel> {
 /// Training must cover the shaped/congested regimes or the centroids
 /// only describe happy-path traffic.
 pub fn training_suite(quick: bool) -> Vec<(String, ScenarioSpec)> {
-    use vcabench_campaign::{
-        CompetitionSpec, CompetitorSpec, MultipartySpec, TwoPartySpec,
-    };
+    use vcabench_campaign::{CompetitionSpec, CompetitorSpec, MultipartySpec, TwoPartySpec};
     use vcabench_netsim::RateProfile;
     let dur = if quick { 12.0 } else { 30.0 };
     let mut out = Vec::new();
@@ -169,8 +167,14 @@ pub fn training_suite(quick: bool) -> Vec<(String, ScenarioSpec)> {
                 knobs: None,
             })
         };
-        out.push((format!("train_{tag}_unshaped_s1"), two_party(1000.0, 1000.0, 1)));
-        out.push((format!("train_{tag}_unshaped_s2"), two_party(1000.0, 1000.0, 2)));
+        out.push((
+            format!("train_{tag}_unshaped_s1"),
+            two_party(1000.0, 1000.0, 1),
+        ));
+        out.push((
+            format!("train_{tag}_unshaped_s2"),
+            two_party(1000.0, 1000.0, 2),
+        ));
         out.push((format!("train_{tag}_up_0.5"), two_party(0.5, 1000.0, 1)));
         out.push((format!("train_{tag}_down_0.45"), two_party(1000.0, 0.45, 1)));
         let (start, cdur, total) = if quick {
@@ -263,7 +267,13 @@ fn score_classifier(name: &str, pairs: &[(VcaFamily, VcaFamily)]) -> ClassifierS
     }
     let correct: u64 = (0..3).map(|i| confusion[i][i]).sum();
     let total: u64 = pairs.len() as u64;
-    let ratio = |num: u64, den: u64| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     let mut precision = [0.0; 3];
     let mut recall = [0.0; 3];
     for i in 0..3 {
@@ -283,10 +293,7 @@ fn score_classifier(name: &str, pairs: &[(VcaFamily, VcaFamily)]) -> ClassifierS
 
 /// Classify every fingerprint with both classifiers and score them
 /// against the ground truth.
-pub fn build_identify_report(
-    rows: &[LabeledFingerprint],
-    model: &CentroidModel,
-) -> IdentifyReport {
+pub fn build_identify_report(rows: &[LabeledFingerprint], model: &CentroidModel) -> IdentifyReport {
     let rule = RuleClassifier;
     let scenarios: Vec<IdentifiedScenario> = rows
         .iter()
@@ -380,7 +387,10 @@ pub fn identify_report_json(report: &IdentifyReport) -> String {
                         "truth".to_string(),
                         Value::String(sc.truth.name().to_string()),
                     );
-                    o.insert("rule".to_string(), Value::String(sc.rule.name().to_string()));
+                    o.insert(
+                        "rule".to_string(),
+                        Value::String(sc.rule.name().to_string()),
+                    );
                     o.insert(
                         "centroid".to_string(),
                         Value::String(sc.centroid.name().to_string()),
@@ -411,9 +421,8 @@ pub fn identify_report_json(report: &IdentifyReport) -> String {
                                 .collect(),
                         ),
                     );
-                    let floats = |xs: &[f64; 3]| {
-                        Value::Array(xs.iter().map(|&x| Value::F64(x)).collect())
-                    };
+                    let floats =
+                        |xs: &[f64; 3]| Value::Array(xs.iter().map(|&x| Value::F64(x)).collect());
                     o.insert("precision".to_string(), floats(&s.precision));
                     o.insert("recall".to_string(), floats(&s.recall));
                     Value::Object(o)
@@ -590,10 +599,8 @@ pub fn routed_report(
                 .flat_map(|&f| by_family[f.index()].iter().cloned())
                 .collect();
             let median = |m: Option<LinearModel>| {
-                m.map(|m| {
-                    MetricScore::from_errors(bitrate_errors(held_rows, &m)).median_rel_err
-                })
-                .unwrap_or(f64::NAN)
+                m.map(|m| MetricScore::from_errors(bitrate_errors(held_rows, &m)).median_rel_err)
+                    .unwrap_or(f64::NAN)
             };
             let in_domain_median = median(fit_model(held_rows));
             let transfer_median = median(fit_model(&others));
@@ -870,10 +877,7 @@ mod tests {
             }
             // Every family appears, and shaped + congested regimes are in.
             for fam in VcaFamily::ALL {
-                let n = suite
-                    .iter()
-                    .filter(|(_, s)| spec_family(s) == fam)
-                    .count();
+                let n = suite.iter().filter(|(_, s)| spec_family(s) == fam).count();
                 assert_eq!(n, 6, "{} scenarios for {}", n, fam.name());
             }
         }

@@ -17,6 +17,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod fingerprint;
 pub mod infer;
+pub mod observe;
 pub mod profile;
 pub mod render;
 pub mod run;
@@ -29,15 +30,22 @@ pub use fingerprint::{
     build_identify_report, family_of, fingerprint_suite, fit_centroid, fit_kind_models,
     fp_taps_for, identify_report_json, infer_identify_suite, render_identify_report,
     render_routed_report, routed_report, routed_report_json, run_spec_fingerprint,
-    run_spec_fingerprint_metered, run_spec_infer_identify, spec_family, spec_kind,
-    training_suite, IdentifyReport, LabeledFingerprint, RoutedReport, DEFAULT_MAX_ROUTED_DELTA,
+    run_spec_fingerprint_metered, run_spec_infer_identify, spec_family, spec_kind, training_suite,
+    IdentifyReport, LabeledFingerprint, RoutedReport, DEFAULT_MAX_ROUTED_DELTA,
     DEFAULT_MIN_ID_ACCURACY,
 };
 pub use infer::{
     build_report, fit_model, infer_report_json, infer_suite, join_windows, render_infer_report,
     run_spec_infer, run_spec_infer_metered, score, taps_for, InferOutcome, InferReport, WindowRow,
 };
-pub use profile::{profile_engine, profile_two_party, render_profile};
+pub use observe::{
+    gate_failures, observe_report_json, observe_suite, pinned_disruption_suite,
+    render_observe_report, run_spec_observe, run_spec_observe_metered, ObserveReport, ObserveRun,
+    ObserveScenario, OBSERVE_REPORT_SCHEMA,
+};
+pub use profile::{
+    profile_engine, profile_json, profile_two_party, render_profile, PROFILE_SCHEMA,
+};
 pub use run::{
     run_competition, run_competition_metered, run_multiparty, run_multiparty_metered,
     run_two_party, run_two_party_metered, run_two_party_with, CompetitionConfig,

@@ -31,6 +31,59 @@ pub fn profile_engine(duration: SimDuration) -> Vec<(VcaKind, Profiler)> {
         .collect()
 }
 
+/// Schema tag of the `repro --profile --json` artifact.
+pub const PROFILE_SCHEMA: &str = "vcabench-profile/v1";
+
+/// Serialize the per-kind profiles (plus the merged total under the
+/// `"all"` key) as a `vcabench-profile/v1` artifact. Key order is fixed,
+/// but the wall-clock numbers inside are nondeterministic by nature —
+/// the artifact is for inspection and ad-hoc comparison, never for
+/// golden diffs.
+pub fn profile_json(profiles: &[(VcaKind, Profiler)]) -> String {
+    use serde_json::{Map, Value};
+    fn profiler_value(prof: &Profiler) -> Value {
+        let mut rows = Vec::new();
+        for (key, row) in prof.rows() {
+            let mut r = Map::new();
+            r.insert("event".to_string(), Value::String(key.to_string()));
+            r.insert("count".to_string(), Value::U64(row.count));
+            r.insert("total_ns".to_string(), Value::U64(row.nanos as u64));
+            r.insert("p50_ns".to_string(), Value::U64(row.percentile(0.50)));
+            r.insert("p90_ns".to_string(), Value::U64(row.percentile(0.90)));
+            r.insert("p99_ns".to_string(), Value::U64(row.percentile(0.99)));
+            rows.push(Value::Object(r));
+        }
+        let mut m = Map::new();
+        m.insert("total_events".to_string(), Value::U64(prof.total_count()));
+        m.insert(
+            "total_ns".to_string(),
+            Value::U64(prof.total_nanos() as u64),
+        );
+        m.insert("rows".to_string(), Value::Array(rows));
+        Value::Object(m)
+    }
+    let mut merged = Profiler::new();
+    let mut kinds = Vec::new();
+    for (kind, prof) in profiles {
+        let mut k = Map::new();
+        k.insert("kind".to_string(), Value::String(kind.name().to_string()));
+        k.insert("profile".to_string(), profiler_value(prof));
+        kinds.push(Value::Object(k));
+        merged.merge(prof);
+    }
+    let mut root = Map::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String(PROFILE_SCHEMA.to_string()),
+    );
+    root.insert("kinds".to_string(), Value::Array(kinds));
+    root.insert("all".to_string(), profiler_value(&merged));
+    let mut text =
+        serde_json::to_string_pretty(&Value::Object(root)).expect("serializable profile");
+    text.push('\n');
+    text
+}
+
 /// Render the per-kind tables plus a merged total.
 pub fn render_profile(profiles: &[(VcaKind, Profiler)]) -> String {
     let mut out = String::new();
@@ -59,7 +112,11 @@ mod tests {
             "packet arrivals profiled: {:?}",
             prof.rows().keys().collect::<Vec<_>>()
         );
-        let table = render_profile(&[(VcaKind::Zoom, prof)]);
+        let table = render_profile(&[(VcaKind::Zoom, prof.clone())]);
         assert!(table.contains("all kinds combined"));
+        assert!(table.contains("p99 ns"), "percentile columns present");
+        let json = profile_json(&[(VcaKind::Zoom, prof)]);
+        assert!(json.contains("\"schema\": \"vcabench-profile/v1\""));
+        assert!(json.contains("\"p50_ns\""));
     }
 }

@@ -200,10 +200,7 @@ impl KindModels {
 
     /// The model for a family name, if present.
     pub fn get(&self, name: &str) -> Option<&LinearModel> {
-        self.models
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, m)| m)
+        self.models.iter().find(|(n, _)| n == name).map(|(_, m)| m)
     }
 
     /// The committed per-kind bundle, compiled into the crate.
@@ -272,26 +269,27 @@ impl KindModels {
         if kinds.is_empty() {
             return Err("kind models: empty `kinds` object".to_string());
         }
-        let weights = |o: &Value, name: &str, key: &str| -> Result<[f64; NUM_FEATURES + 1], String> {
-            let arr = o
-                .get(key)
-                .and_then(|w| w.as_array())
-                .ok_or(format!("kind models: `{name}` missing `{key}` weights"))?;
-            if arr.len() != NUM_FEATURES + 1 {
-                return Err(format!(
-                    "kind models: `{name}.{key}` has {} weights, expected {}",
-                    arr.len(),
-                    NUM_FEATURES + 1
-                ));
-            }
-            let mut out = [0.0; NUM_FEATURES + 1];
-            for (i, x) in arr.iter().enumerate() {
-                out[i] = x
-                    .as_f64()
-                    .ok_or(format!("kind models: `{name}.{key}[{i}]` is not a number"))?;
-            }
-            Ok(out)
-        };
+        let weights =
+            |o: &Value, name: &str, key: &str| -> Result<[f64; NUM_FEATURES + 1], String> {
+                let arr = o
+                    .get(key)
+                    .and_then(|w| w.as_array())
+                    .ok_or(format!("kind models: `{name}` missing `{key}` weights"))?;
+                if arr.len() != NUM_FEATURES + 1 {
+                    return Err(format!(
+                        "kind models: `{name}.{key}` has {} weights, expected {}",
+                        arr.len(),
+                        NUM_FEATURES + 1
+                    ));
+                }
+                let mut out = [0.0; NUM_FEATURES + 1];
+                for (i, x) in arr.iter().enumerate() {
+                    out[i] = x
+                        .as_f64()
+                        .ok_or(format!("kind models: `{name}.{key}[{i}]` is not a number"))?;
+                }
+                Ok(out)
+            };
         let mut models = Vec::new();
         for (name, o) in kinds.iter() {
             models.push((

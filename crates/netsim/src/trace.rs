@@ -189,7 +189,14 @@ impl FlowTraces {
     /// Record `bytes` of `flow` at `t` along with the packet's endpoints
     /// (the delivery path calls this; [`FlowTraces::record`] stays for
     /// rate-only callers and tests).
-    pub fn record_packet(&mut self, flow: FlowId, t: SimTime, bytes: usize, src: NodeId, dst: NodeId) {
+    pub fn record_packet(
+        &mut self,
+        flow: FlowId,
+        t: SimTime,
+        bytes: usize,
+        src: NodeId,
+        dst: NodeId,
+    ) {
         self.record(flow, t, bytes);
         let idx = match self.endpoints.binary_search_by_key(&flow.0, |(f, _)| f.0) {
             Ok(i) => i,
@@ -408,8 +415,20 @@ mod tests {
     #[test]
     fn endpoint_metadata_accumulates_and_reports_direction() {
         let mut ft = FlowTraces::new();
-        ft.record_packet(FlowId(7), SimTime::from_millis(1), 1000, NodeId(3), NodeId(4));
-        ft.record_packet(FlowId(7), SimTime::from_millis(2), 500, NodeId(3), NodeId(4));
+        ft.record_packet(
+            FlowId(7),
+            SimTime::from_millis(1),
+            1000,
+            NodeId(3),
+            NodeId(4),
+        );
+        ft.record_packet(
+            FlowId(7),
+            SimTime::from_millis(2),
+            500,
+            NodeId(3),
+            NodeId(4),
+        );
         let m = ft.endpoints(FlowId(7)).expect("metadata recorded");
         assert_eq!(m.src, NodeId(3));
         assert_eq!(m.dst, NodeId(4));

@@ -54,7 +54,7 @@ pub use export::{
 };
 pub use import::{parse_event_line, replay_jsonl};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use profiler::Profiler;
+pub use profiler::{ProfileRow, Profiler, HIST_BUCKETS};
 pub use recorder::{EventLog, NullRecorder, Recorder, Telemetry};
 
 /// Version of the JSONL event-trace schema. Bump on any change to event

@@ -9,6 +9,11 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+/// Log2 histogram buckets per [`ProfileRow`]: bucket `b` holds samples
+/// in `[2^b, 2^(b+1))` ns (bucket 0 also holds 0 ns; the last bucket is
+/// open-ended at ~2.1 s).
+pub const HIST_BUCKETS: usize = 32;
+
 /// Accumulated cost of one event type.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ProfileRow {
@@ -16,6 +21,51 @@ pub struct ProfileRow {
     pub count: u64,
     /// Total wall-clock nanoseconds spent handling them.
     pub nanos: u128,
+    /// Log2 duration histogram (see [`HIST_BUCKETS`]).
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+impl ProfileRow {
+    /// Histogram bucket index for a sample of `nanos`.
+    #[inline]
+    fn bucket(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            ((63 - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample into the row.
+    #[inline]
+    fn add(&mut self, nanos: u64) {
+        self.count += 1;
+        self.nanos += nanos as u128;
+        self.hist[Self::bucket(nanos)] += 1;
+    }
+
+    /// Approximate `p`-th percentile (0 < p ≤ 1) of the per-event
+    /// wall-clock cost in nanoseconds: the upper edge of the log2
+    /// bucket the percentile rank falls into (so the estimate is within
+    /// 2x of the true sample, biased high). Returns 0 for an empty row.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// Per-event-type count + wall-clock accumulator.
@@ -33,9 +83,8 @@ impl Profiler {
     /// Record one handled event of type `key` that took `elapsed`.
     #[inline]
     pub fn record(&mut self, key: &'static str, elapsed: Duration) {
-        let row = self.rows.entry(key).or_default();
-        row.count += 1;
-        row.nanos += elapsed.as_nanos();
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.rows.entry(key).or_default().add(nanos);
     }
 
     /// Rows keyed by event type, sorted by key.
@@ -59,6 +108,9 @@ impl Profiler {
             let mine = self.rows.entry(key).or_default();
             mine.count += row.count;
             mine.nanos += row.nanos;
+            for (m, o) in mine.hist.iter_mut().zip(row.hist.iter()) {
+                *m += o;
+            }
         }
     }
 
@@ -70,8 +122,8 @@ impl Profiler {
         let total = self.total_nanos().max(1);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<12} {:>12} {:>12} {:>10} {:>7}\n",
-            "event", "count", "total ms", "avg ns", "share"
+            "{:<12} {:>12} {:>12} {:>10} {:>8} {:>8} {:>8} {:>7}\n",
+            "event", "count", "total ms", "avg ns", "p50 ns", "p90 ns", "p99 ns", "share"
         ));
         for (key, row) in rows {
             let avg = if row.count > 0 {
@@ -80,11 +132,14 @@ impl Profiler {
                 0
             };
             out.push_str(&format!(
-                "{:<12} {:>12} {:>12.3} {:>10} {:>6.1}%\n",
+                "{:<12} {:>12} {:>12.3} {:>10} {:>8} {:>8} {:>8} {:>6.1}%\n",
                 key,
                 row.count,
                 row.nanos as f64 / 1e6,
                 avg,
+                row.percentile(0.50),
+                row.percentile(0.90),
+                row.percentile(0.99),
                 100.0 * row.nanos as f64 / total as f64,
             ));
         }
@@ -114,24 +169,17 @@ mod tests {
 
         assert_eq!(p.total_count(), 4);
         assert_eq!(p.total_nanos(), 6000);
-        assert_eq!(
-            p.rows()["arrive"],
-            ProfileRow {
-                count: 2,
-                nanos: 2000
-            }
-        );
-        assert_eq!(
-            p.rows()["timer"],
-            ProfileRow {
-                count: 2,
-                nanos: 4000
-            }
-        );
+        assert_eq!(p.rows()["arrive"].count, 2);
+        assert_eq!(p.rows()["arrive"].nanos, 2000);
+        assert_eq!(p.rows()["timer"].count, 2);
+        assert_eq!(p.rows()["timer"].nanos, 4000);
+        // The merged histogram still holds every sample.
+        assert_eq!(p.rows()["timer"].hist.iter().sum::<u64>(), 2);
 
         let table = p.render_table();
         let lines: Vec<&str> = table.lines().collect();
         assert!(lines[0].starts_with("event"));
+        assert!(lines[0].contains("p50 ns") && lines[0].contains("p99 ns"));
         // timer (4000 ns) outranks arrive (2000 ns).
         assert!(
             lines[1].starts_with("timer"),
@@ -139,5 +187,35 @@ mod tests {
         );
         assert!(lines[2].starts_with("arrive"));
         assert!(lines[3].starts_with("total"));
+    }
+
+    #[test]
+    fn percentiles_over_a_synthetic_distribution() {
+        // 89 fast samples at ~100 ns, 10 at ~10 µs, 1 at ~1 ms: p50 must
+        // sit in the fast bucket, p90 at its edge, p99 in the middle
+        // band, and only the max reaches the slow outlier.
+        let mut p = Profiler::new();
+        for _ in 0..89 {
+            p.record("mixed", Duration::from_nanos(100));
+        }
+        for _ in 0..10 {
+            p.record("mixed", Duration::from_nanos(10_000));
+        }
+        p.record("mixed", Duration::from_nanos(1_000_000));
+        let row = p.rows()["mixed"];
+        assert_eq!(row.count, 100);
+        // 100 ns lives in bucket 6 ([64, 128)); upper edge 127.
+        assert_eq!(row.percentile(0.50), 127);
+        assert_eq!(row.percentile(0.89), 127);
+        // 10 µs lives in bucket 13 ([8192, 16384)); upper edge 16383.
+        assert_eq!(row.percentile(0.90), 16383);
+        assert_eq!(row.percentile(0.99), 16383);
+        // Only the very top rank sees the 1 ms outlier (bucket 19).
+        assert_eq!(row.percentile(1.0), (1 << 20) - 1);
+        // Degenerate inputs stay sane.
+        assert_eq!(ProfileRow::default().percentile(0.5), 0);
+        let mut zero = Profiler::new();
+        zero.record("z", Duration::from_nanos(0));
+        assert_eq!(zero.rows()["z"].percentile(0.99), 1);
     }
 }

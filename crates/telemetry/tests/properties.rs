@@ -1,0 +1,156 @@
+//! Property tests closing the import/export loop: arbitrary valid event
+//! sequences survive export → parse/replay → re-export byte-identically.
+//!
+//! The exporter promises exact round-trips (`parse_event_line` is the
+//! inverse of `Event::to_jsonl_line`, floats use shortest-round-trip
+//! formatting), but until now only hand-picked events exercised it.
+
+use proptest::prelude::*;
+use vcabench_simcore::SimTime;
+use vcabench_telemetry::{
+    events_jsonl, parse_event_line, replay_jsonl, Event, EventKind, EventLog, Recorder,
+};
+
+/// Decode one raw u64 into an event kind covering every schema variant
+/// with in-vocabulary strings and representable floats (the vendored
+/// proptest subset has no tuple or enum strategies, so sequences are
+/// vectors of raw words).
+fn decode_kind(raw: u64) -> EventKind {
+    let a = (raw >> 8) & 0xffff;
+    let b = (raw >> 24) & 0xffff;
+    let c = (raw >> 40) & 0xff;
+    match raw % 10 {
+        0 => EventKind::PacketEnqueued {
+            link: c % 4,
+            flow: a % 8,
+            pkt: b,
+            bytes: 40 + a % 1460,
+            queue_bytes: b * 3,
+            queue_pkts: c,
+        },
+        1 => EventKind::PacketDequeued {
+            link: c % 4,
+            flow: a % 8,
+            pkt: b,
+            bytes: 40 + a % 1460,
+            queue_bytes: b,
+        },
+        2 => EventKind::PacketDropped {
+            link: c % 4,
+            flow: a % 8,
+            pkt: b,
+            bytes: 40 + a % 1460,
+            queue_bytes: b,
+            reason: if raw & 0x10000 == 0 {
+                "queue_full"
+            } else {
+                "impairment"
+            },
+        },
+        3 => EventKind::RateStep {
+            link: c % 4,
+            bps: (a + 1) as f64 * 1000.0 + (b % 100) as f64 / 4.0,
+        },
+        4 => {
+            const CONTROLLERS: [&str; 3] = ["fbra", "gcc", "teams"];
+            const STATES: [&str; 11] = [
+                "decay",
+                "decrease",
+                "fall",
+                "hold",
+                "increase",
+                "probe",
+                "probe-hold",
+                "ramp",
+                "recover",
+                "stay",
+                "track",
+            ];
+            const SIGNALS: [&str; 3] = ["normal", "overuse", "underuse"];
+            EventKind::CcState {
+                client: c % 4,
+                controller: CONTROLLERS[(a % 3) as usize],
+                state: STATES[(b % 11) as usize],
+                signal: match raw % 4 {
+                    0 => None,
+                    n => Some(SIGNALS[(n - 1) as usize]),
+                },
+                target_mbps: (a % 5000) as f64 / 100.0,
+            }
+        }
+        5 => EventKind::FecRatio {
+            client: c % 4,
+            fraction: (a % 1000) as f64 / 1000.0,
+            fec_per_media: (b % 2000) as f64 / 1000.0,
+        },
+        6 => EventKind::LayerSwitch {
+            client: c % 4,
+            streams: c % 4,
+            top_width: a,
+            top_fps: (b % 61) as f64 / 2.0,
+        },
+        7 => EventKind::Fir {
+            client: c % 4,
+            ssrc: b,
+            dir: if raw & 0x10000 == 0 {
+                "sent"
+            } else {
+                "received"
+            },
+        },
+        8 => EventKind::Freeze {
+            client: c % 4,
+            sender: a % 4,
+            count: c,
+            total_ms: a as f64 / 8.0,
+        },
+        _ => EventKind::InvariantViolation {
+            invariant: format!("invariant_{}", a % 4),
+            detail: format!("violated with margin {}", b),
+        },
+    }
+}
+
+/// A valid (time-ordered) event sequence from raw words: timestamps are
+/// the sorted low bits, kinds decoded from the full words.
+fn sequence_of(raw: &[u64]) -> Vec<Event> {
+    let mut at: Vec<u64> = raw.iter().map(|&r| (r >> 16) % 10_000_000).collect();
+    at.sort_unstable();
+    at.iter()
+        .zip(raw.iter())
+        .map(|(&at_us, &r)| Event {
+            at: SimTime::from_micros(at_us),
+            kind: decode_kind(r),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every line of the export parses back to the exact event, and the
+    /// re-exported line is byte-identical.
+    #[test]
+    fn every_line_round_trips_exactly(raw in proptest::collection::vec(any::<u64>(), 0..200)) {
+        for ev in sequence_of(&raw) {
+            let line = ev.to_jsonl_line();
+            let parsed = parse_event_line(&line).expect("exported line parses");
+            prop_assert_eq!(&parsed, &ev);
+            prop_assert_eq!(parsed.to_jsonl_line(), line);
+        }
+    }
+
+    /// Replaying a full export through a fresh log reproduces the export
+    /// byte-identically (the whole-trace version of the line property,
+    /// covering the JSONL framing and timestamp monotonicity check).
+    #[test]
+    fn replayed_exports_are_byte_identical(raw in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut log = EventLog::unbounded();
+        for ev in sequence_of(&raw) {
+            log.record(ev.at, ev.kind);
+        }
+        let exported = events_jsonl(&log);
+        let mut replayed = EventLog::unbounded();
+        let n = replay_jsonl(&exported, &mut replayed).expect("valid trace replays");
+        prop_assert_eq!(n, raw.len() as u64);
+        prop_assert_eq!(events_jsonl(&replayed), exported);
+    }
+}

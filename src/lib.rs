@@ -50,6 +50,7 @@
 //! | [`telemetry`] | deterministic event tracing, metrics, trace export, profiler |
 //! | [`infer`] | passive QoE inference from packet traces (features, estimators) |
 //! | [`fingerprint`] | flow-level VCA identification (features, classifiers) |
+//! | [`observe`] | span timeline, anomaly diagnosis, trace diff over telemetry |
 //! | [`harness`] | one module per paper table/figure, plus inference validation |
 //! | `bench` | pinned engine benchmarks, the perf gate, and the `repro` binary |
 //!
@@ -66,6 +67,7 @@ pub use vcabench_harness as harness;
 pub use vcabench_infer as infer;
 pub use vcabench_media as media;
 pub use vcabench_netsim as netsim;
+pub use vcabench_observe as observe;
 pub use vcabench_simcore as simcore;
 pub use vcabench_stats as stats;
 pub use vcabench_telemetry as telemetry;
@@ -77,14 +79,17 @@ pub mod prelude {
     pub use vcabench_campaign::{
         Axes, CampaignSpec, ScenarioOutcome, ScenarioSpec, ScenarioTemplate, SeedAxis, TwoPartySpec,
     };
+    pub use vcabench_fingerprint::{
+        CentroidModel, Classifier, FingerprintBank, RuleClassifier, VcaFamily,
+    };
     pub use vcabench_harness::{
         run_campaign, run_campaign_cached, run_campaign_cached_traced, run_competition,
-        run_multiparty, run_spec, run_spec_infer, run_spec_traced, run_two_party,
+        run_multiparty, run_spec, run_spec_infer, run_spec_observe, run_spec_traced, run_two_party,
         CompetitionConfig, Competitor, TwoPartyOutcome,
     };
-    pub use vcabench_fingerprint::{CentroidModel, Classifier, FingerprintBank, RuleClassifier, VcaFamily};
     pub use vcabench_infer::{Estimator, HeuristicEstimator, LinearModel, TapBank, Vantage};
     pub use vcabench_netsim::{LinkConfig, Network, RateProfile};
+    pub use vcabench_observe::{diagnose, diagnose_jsonl, Diagnosis, ObserveConfig, SpanBuilder};
     pub use vcabench_simcore::{SimDuration, SimRng, SimTime};
     pub use vcabench_telemetry::{EventKind, EventLog, Telemetry};
     pub use vcabench_transport::Wire;
