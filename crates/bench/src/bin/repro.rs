@@ -6,6 +6,7 @@
 //! repro campaign <spec.json> [--jobs <n>] [--out <dir>] [--rerun] [--trace-dir <dir>]
 //! repro bench [--quick] [--baseline <file>] [--out <dir>] [--label <name>] [--threshold <x>]
 //! repro infer [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] [--fit <model.json>]
+//!             [--fit-gbt <model.json>] [--estimator <name>]
 //!             [--max-bitrate-err <x>] [--min-freeze-recall <x>] [--identify]
 //! repro identify [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>]
 //!                [--fit <model.json>] [--min-id-accuracy <x>]
@@ -35,7 +36,11 @@
 //! any scenario's wall time regresses past the threshold;
 //! `infer` runs the passive-QoE-inference validation harness over the
 //! pinned suite (or a campaign spec's expanded runs) and exits nonzero if
-//! the calibrated estimator's accuracy regresses past the gates;
+//! the gated estimator's accuracy regresses past the gates; `--estimator`
+//! picks which estimator the gate applies to (`heuristic`, `linear`, or
+//! `gbt` — the gradient-boosted trees are held to a tighter default);
+//! `--fit-gbt` refits the GBT over the pinned training campaign and
+//! freezes it to the given path;
 //! `infer --identify` instead routes every run through the flow-level
 //! classifier to select the per-VCA model and gates the routed accuracy
 //! against the spec-routed reference;
@@ -105,7 +110,11 @@ fn print_help() {
         "       repro infer [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] \
          [--fit <model.json>]"
     );
-    println!("                   [--max-bitrate-err <x>] [--min-freeze-recall <x>] [--identify]");
+    println!(
+        "                   [--fit-gbt <model.json>] [--estimator <name>] \
+         [--max-bitrate-err <x>]"
+    );
+    println!("                   [--min-freeze-recall <x>] [--identify]");
     println!(
         "       repro identify [<campaign.json>] [--quick] [--jobs <n>] [--out <dir>] \
          [--fit <model.json>]"
@@ -191,6 +200,21 @@ fn print_help() {
     println!("                     the per-VCA model bundle instead. (identify) fit a");
     println!("                     centroid classifier over the pinned training campaign,");
     println!("                     write it to <model.json>, and score with it");
+    println!("  --fit-gbt <model.json>");
+    println!("                     (infer only) fit the gradient-boosted-tree estimator");
+    println!("                     over the pinned training campaign (never the evaluated");
+    println!("                     scenarios), write it to <model.json>, and score with");
+    println!("                     it instead of the built-in gbt-v1 artifact");
+    println!("  --estimator <name> (infer only) which estimator the accuracy gate applies");
+    println!(
+        "                     to: {} (default linear; the gbt",
+        vcabench_infer::ESTIMATOR_NAMES.join(", ")
+    );
+    println!(
+        "                     default bitrate gate is {:.2} vs {:.2})",
+        vcabench_harness::infer::DEFAULT_MAX_BITRATE_ERR_GBT,
+        vcabench_harness::infer::DEFAULT_MAX_BITRATE_ERR
+    );
     println!("  --identify         (infer only) route every run through the flow-level");
     println!("                     classifier to select the per-VCA calibrated model");
     println!("                     instead of reading the kind from the spec; gates the");
@@ -235,6 +259,8 @@ struct Args {
     label: Option<String>,
     threshold: f64,
     fit: Option<String>,
+    fit_gbt: Option<String>,
+    estimator: Option<String>,
     max_bitrate_err: Option<f64>,
     min_freeze_recall: Option<f64>,
     identify: bool,
@@ -261,6 +287,8 @@ fn parse_args() -> Args {
     let mut label = None;
     let mut threshold = vcabench_bench::DEFAULT_THRESHOLD;
     let mut fit = None;
+    let mut fit_gbt = None;
+    let mut estimator: Option<String> = None;
     let mut max_bitrate_err = None;
     let mut min_freeze_recall = None;
     let mut identify = false;
@@ -318,6 +346,24 @@ fn parse_args() -> Args {
                     it.next()
                         .unwrap_or_else(|| usage_error("--fit requires a path argument")),
                 );
+            }
+            "--fit-gbt" => {
+                fit_gbt = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--fit-gbt requires a path argument")),
+                );
+            }
+            "--estimator" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--estimator requires a name argument"));
+                if !vcabench_infer::ESTIMATOR_NAMES.contains(&v.as_str()) {
+                    usage_error(&format!(
+                        "--estimator expects one of {}, got `{v}`",
+                        vcabench_infer::ESTIMATOR_NAMES.join(", ")
+                    ));
+                }
+                estimator = Some(v);
             }
             "--max-bitrate-err" => {
                 let v = it
@@ -461,6 +507,24 @@ fn parse_args() -> Args {
         if identify {
             usage_error("--identify only applies to the infer subcommand");
         }
+        if fit_gbt.is_some() {
+            usage_error("--fit-gbt only applies to the infer subcommand");
+        }
+        if estimator.is_some() {
+            usage_error("--estimator only applies to the infer subcommand");
+        }
+    }
+    if fit_gbt.is_some() && fit.is_some() {
+        usage_error("--fit and --fit-gbt are mutually exclusive; fit one model per run");
+    }
+    if identify && fit_gbt.is_some() {
+        usage_error("--fit-gbt fits the global GBT estimator; it does not apply to --identify");
+    }
+    if identify && estimator.is_some() {
+        usage_error(
+            "--estimator selects the gated global estimator; with --identify the \
+             routed per-family path is gated instead",
+        );
     }
     if experiment != "identify" && min_id_accuracy.is_some() {
         usage_error("--min-id-accuracy only applies to the identify subcommand");
@@ -489,6 +553,8 @@ fn parse_args() -> Args {
         label,
         threshold,
         fit,
+        fit_gbt,
+        estimator,
         max_bitrate_err,
         min_freeze_recall,
         identify,
@@ -611,7 +677,9 @@ fn run_campaign_command(args: &Args) -> ! {
 }
 
 fn run_infer_command(args: &Args) -> ! {
-    use vcabench_harness::infer::{DEFAULT_MAX_BITRATE_ERR, DEFAULT_MIN_FREEZE_RECALL};
+    use vcabench_harness::infer::{
+        DEFAULT_MAX_BITRATE_ERR, DEFAULT_MAX_BITRATE_ERR_GBT, DEFAULT_MIN_FREEZE_RECALL,
+    };
     // Scenario list: a campaign spec's expanded runs, or the pinned
     // benchmark suite (every scenario, inference-stage one included —
     // it is just another shaped two-party workload here).
@@ -666,9 +734,47 @@ fn run_infer_command(args: &Args) -> ! {
             println!("fitted calibration model -> {path}");
             model
         }
-        None => vcabench_infer::LinearModel::builtin(),
+        None => {
+            let registry = vcabench_harness::model_registry();
+            registry.linear("linear-v1").unwrap_or_else(|e| {
+                eprintln!("repro: {e}");
+                std::process::exit(1);
+            })
+        }
     };
-    let report = vcabench_harness::build_report(&rows, &model);
+    // The GBT estimator: either refit over the pinned training campaign
+    // (train/eval separation — never the evaluation rows) and frozen to
+    // the given path, or the committed `gbt-v1` registry artifact.
+    let gbt = match &args.fit_gbt {
+        Some(path) => {
+            let training = vcabench_harness::training_suite(args.quick);
+            println!(
+                "fitting GBT over the pinned training campaign ({} scenarios)",
+                training.len()
+            );
+            let train_rows = vcabench_harness::infer_suite(&training, args.jobs);
+            let all: Vec<vcabench_harness::WindowRow> =
+                train_rows.iter().flatten().cloned().collect();
+            let gbt = vcabench_harness::fit_gbt(&all).unwrap_or_else(|| {
+                eprintln!("repro: GBT fit failed (no usable training windows)");
+                std::process::exit(1);
+            });
+            std::fs::write(path, gbt.to_json()).unwrap_or_else(|e| {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("fitted GBT model -> {path}");
+            gbt
+        }
+        None => {
+            let registry = vcabench_harness::model_registry();
+            registry.gbt("gbt-v1").unwrap_or_else(|e| {
+                eprintln!("repro: {e}");
+                std::process::exit(1);
+            })
+        }
+    };
+    let report = vcabench_harness::build_report(&rows, &model, &gbt);
     print!("{}", vcabench_harness::render_infer_report(&report));
     let out_dir = args
         .out
@@ -684,16 +790,25 @@ fn run_infer_command(args: &Args) -> ! {
         std::process::exit(1);
     });
     println!("wrote {}", artifact.display());
-    // Accuracy gates apply to the calibrated estimator.
-    let calibrated = report
+    // Accuracy gates apply to the selected estimator (default: the
+    // calibrated linear model). The GBT default gate is tighter — the
+    // tree ensemble must beat the linear model to earn its keep.
+    let selected = args.estimator.as_deref().unwrap_or("linear");
+    let (report_name, default_max_err) = match selected {
+        "heuristic" => ("heuristic", DEFAULT_MAX_BITRATE_ERR),
+        "gbt" => ("gbt", DEFAULT_MAX_BITRATE_ERR_GBT),
+        _ => ("calibrated", DEFAULT_MAX_BITRATE_ERR),
+    };
+    let gated = report
         .estimators
         .iter()
-        .find(|e| e.estimator == "calibrated")
-        .expect("report scores the calibrated estimator");
-    let max_err = args.max_bitrate_err.unwrap_or(DEFAULT_MAX_BITRATE_ERR);
+        .find(|e| e.estimator == report_name)
+        .expect("report scores every selectable estimator");
+    println!("gated estimator: {selected}");
+    let max_err = args.max_bitrate_err.unwrap_or(default_max_err);
     let min_recall = args.min_freeze_recall.unwrap_or(DEFAULT_MIN_FREEZE_RECALL);
-    let err = calibrated.bitrate.median_rel_err;
-    let recall = calibrated.freeze.recall;
+    let err = gated.bitrate.median_rel_err;
+    let recall = gated.freeze.recall;
     let err_ok = err <= max_err;
     let recall_ok = recall >= min_recall;
     println!(

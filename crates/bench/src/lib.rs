@@ -10,7 +10,7 @@
 //!
 //! - [`scenario`] — the pinned suite (two-party, competition, multiparty ×
 //!   Zoom/Meet/Teams) with fixed durations and seeds;
-//! - [`measure`] — wall-clock timing over the real campaign glue with
+//! - [`mod@measure`] — wall-clock timing over the real campaign glue with
 //!   telemetry disabled, reading the engine's own event counters;
 //! - [`report`] — schema-versioned `BENCH_<label>.json` artifacts and the
 //!   baseline regression gate used by `repro bench --baseline`.

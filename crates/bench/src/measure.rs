@@ -24,10 +24,19 @@ use crate::scenario::BenchScenario;
 /// identification-stage scenarios through [`run_spec_fingerprint_metered`],
 /// with the fingerprint accumulators attached; observability-stage
 /// scenarios through [`run_spec_observe_metered`], with the streaming
-/// span-deriving diagnoser attached.
+/// span-deriving diagnoser attached; boosted-inference scenarios run the
+/// tap bank *and* the builtin GBT ensemble over every extracted window, so
+/// the stopwatch covers tree-walk prediction cost too.
 pub fn measure(sc: &BenchScenario) -> ScenarioResult {
     let t0 = Instant::now();
-    let engine = if sc.infer {
+    let engine = if sc.gbt {
+        let (outcome, engine) = run_spec_infer_metered(&sc.spec);
+        let model = vcabench_infer::GbtModel::builtin();
+        for w in outcome.send.iter().chain(outcome.recv.iter()) {
+            std::hint::black_box(vcabench_infer::Estimator::estimate(&model, w));
+        }
+        engine
+    } else if sc.infer {
         run_spec_infer_metered(&sc.spec).1
     } else if sc.identify {
         run_spec_fingerprint_metered(&sc.spec).1
@@ -152,6 +161,26 @@ mod tests {
             "observe recorder overhead {ratio:.3}x exceeds the {gate}x gate \
              (observed {with_observe:.4}s vs plain {plain:.4}s)"
         );
+    }
+
+    #[test]
+    fn gbt_stage_measures_the_same_workload() {
+        // The GBT estimator runs after the simulation over already-sealed
+        // windows: the measured engine counters must match the plain run
+        // of the same spec exactly.
+        let sc = pinned(true)
+            .into_iter()
+            .find(|s| s.gbt)
+            .expect("suite has a gbt stage");
+        let boosted = measure(&sc);
+        let plain = vcabench_harness::run_spec_metered(
+            &sc.spec,
+            &vcabench_telemetry::Telemetry::disabled(),
+        )
+        .1;
+        assert_eq!(boosted.events_processed, plain.events_processed);
+        assert_eq!(boosted.peak_queue_depth, plain.peak_queue_depth);
+        assert!(boosted.events_processed > 1000);
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct BenchScenario {
     /// `vcabench-observe` recorder); measures the observability
     /// overhead on top of the plain engine hot path.
     pub observe: bool,
+    /// Run with the passive tap bank attached *and* the builtin GBT
+    /// estimator applied to every extracted window; measures the tree
+    /// ensemble's inference overhead on top of the extraction path.
+    pub gbt: bool,
 }
 
 /// All three VCA kinds in pinned order.
@@ -62,6 +66,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             infer: false,
             identify: false,
             observe: false,
+            gbt: false,
         });
     }
     for kind in KINDS {
@@ -86,6 +91,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             infer: false,
             identify: false,
             observe: false,
+            gbt: false,
         });
     }
     for kind in KINDS {
@@ -104,6 +110,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
             infer: false,
             identify: false,
             observe: false,
+            gbt: false,
         });
     }
     // The inference-stage scenario: a shaped two-party Zoom call (FEC-heavy
@@ -124,6 +131,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
         infer: true,
         identify: false,
         observe: false,
+        gbt: false,
     });
     // The identification-stage scenario: a mixed-shaping two-party Teams
     // call (uplink throttled, downlink open — the two flow accumulators
@@ -145,6 +153,7 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
         infer: false,
         identify: true,
         observe: false,
+        gbt: false,
     });
     // The observability-stage scenario: the same shaped two-party Zoom
     // call as the inference stage (queue- and freeze-heavy, so the span
@@ -166,6 +175,28 @@ pub fn pinned(quick: bool) -> Vec<BenchScenario> {
         infer: false,
         identify: false,
         observe: true,
+        gbt: false,
+    });
+    // The boosted-inference scenario: the same shaped two-party Zoom call
+    // as the inference stage, but with the builtin GBT ensemble applied to
+    // every extracted window, so the benchmark gate tracks the tree
+    // ensemble's prediction overhead on top of the extraction path.
+    let duration_secs = if quick { 10.0 } else { 30.0 };
+    out.push(BenchScenario {
+        name: "gbt_two_party_zoom".to_string(),
+        spec: ScenarioSpec::TwoParty(TwoPartySpec {
+            kind: VcaKind::Zoom,
+            up: RateProfile::constant_mbps(0.5),
+            down: RateProfile::constant_mbps(1000.0),
+            duration_secs,
+            seed: 1,
+            knobs: None,
+        }),
+        sim_secs: duration_secs,
+        infer: false,
+        identify: false,
+        observe: false,
+        gbt: true,
     });
     out
 }
@@ -178,7 +209,7 @@ mod tests {
     fn suite_is_pinned_and_valid() {
         for quick in [false, true] {
             let suite = pinned(quick);
-            assert_eq!(suite.len(), 12);
+            assert_eq!(suite.len(), 13);
             let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
             assert_eq!(
                 names,
@@ -195,6 +226,7 @@ mod tests {
                     "infer_two_party_zoom",
                     "identify_two_party_mixed",
                     "observe_two_party_zoom",
+                    "gbt_two_party_zoom",
                 ]
             );
             for s in &suite {
@@ -222,11 +254,19 @@ mod tests {
                 .map(|s| s.name.as_str())
                 .collect();
             assert_eq!(observe, ["observe_two_party_zoom"]);
+            // ... and exactly one the boosted-inference stage.
+            let gbt: Vec<&str> = suite
+                .iter()
+                .filter(|s| s.gbt)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(gbt, ["gbt_two_party_zoom"]);
             // No scenario runs more than one bank: the per-stage overhead
             // measurements must stay attributable.
             assert!(suite.iter().all(|s| usize::from(s.infer)
                 + usize::from(s.identify)
                 + usize::from(s.observe)
+                + usize::from(s.gbt)
                 <= 1));
         }
     }

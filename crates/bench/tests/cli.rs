@@ -37,6 +37,8 @@ fn help_advertises_telemetry_surface() {
         "identify",
         "--identify",
         "--min-id-accuracy",
+        "--fit-gbt",
+        "--estimator",
     ] {
         assert!(text.contains(needle), "help missing `{needle}`:\n{text}");
     }
@@ -90,6 +92,19 @@ fn malformed_invocations_exit_2() {
         &["bench", "--min-id-accuracy", "0.9"],    // ditto
         &["infer", "--identify", "--max-bitrate-err", "0.1"], // routed gate only
         &["infer", "--identify", "--min-freeze-recall", "0.8"], // ditto
+        &["infer", "--fit-gbt"],                   // missing value
+        &["infer", "--estimator"],                 // missing value
+        &["infer", "--estimator", "no-such-model"], // unknown estimator
+        &["infer", "--estimator", "GBT"],          // names are lowercase
+        &["bench", "--fit-gbt", "/tmp/x"],         // not the infer subcommand
+        &["table2", "--fit-gbt", "/tmp/x"],        // ditto
+        &["bench", "--estimator", "gbt"],          // not the infer subcommand
+        &["campaign", "x.json", "--estimator", "gbt"], // ditto
+        &["infer", "--fit", "/tmp/a", "--fit-gbt", "/tmp/b"], // one model per run
+        &["infer", "--identify", "--fit-gbt", "/tmp/x"], // routed mode fits nothing
+        &["infer", "--identify", "--estimator", "gbt"], // routed gate only
+        &["identify", "--estimator", "gbt"],       // infer-only flag
+        &["identify", "--fit-gbt", "/tmp/x"],      // infer-only flag
     ];
     for args in cases {
         let out = repro(args);

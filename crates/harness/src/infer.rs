@@ -26,8 +26,8 @@ use std::rc::Rc;
 
 use vcabench_campaign::{run_indexed, ScenarioSpec};
 use vcabench_infer::{
-    feature_vector, Estimator, HeuristicEstimator, LinearModel, TapBank, TapSpec, Vantage,
-    WindowFeatures, NUM_FEATURES,
+    feature_vector, gbt_feature_vector, Estimator, GbtModel, GbtParams, HeuristicEstimator,
+    LinearModel, TapBank, TapSpec, Vantage, WindowFeatures, NUM_FEATURES, NUM_GBT_FEATURES,
 };
 use vcabench_netsim::EngineStats;
 use vcabench_simcore::{SimDuration, SimTime};
@@ -41,8 +41,22 @@ use crate::run::{
 
 /// Default gate: maximum pooled median relative bitrate error.
 pub const DEFAULT_MAX_BITRATE_ERR: f64 = 0.10;
+/// Default gate for the GBT estimator: the tree ensemble resolves the
+/// FEC regimes the linear discount averages over, so it is held to a
+/// tighter pooled median than [`DEFAULT_MAX_BITRATE_ERR`].
+pub const DEFAULT_MAX_BITRATE_ERR_GBT: f64 = 0.05;
 /// Default gate: minimum freeze recall.
 pub const DEFAULT_MIN_FREEZE_RECALL: f64 = 0.8;
+
+/// The workspace-wide model registry: the estimator artifacts committed
+/// in `vcabench-infer` (`linear-v1`, `linear-kinds-v1`, `gbt-v1`) plus
+/// the identification crate's `centroid-v1`. This is the single lookup
+/// the `repro` CLI resolves every frozen model through.
+pub fn model_registry() -> vcabench_infer::ModelRegistry {
+    let mut reg = vcabench_infer::ModelRegistry::builtin();
+    reg.register(vcabench_fingerprint::CentroidModel::registry_entry());
+    reg
+}
 
 /// The two observation points used to validate a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -431,8 +445,10 @@ pub struct ScenarioScore {
     pub windows: usize,
     /// Median pooled bitrate error of the heuristic estimator.
     pub heuristic_bitrate_err: f64,
-    /// Median pooled bitrate error of the calibrated estimator.
+    /// Median pooled bitrate error of the calibrated linear estimator.
     pub calibrated_bitrate_err: f64,
+    /// Median pooled bitrate error of the GBT estimator.
+    pub gbt_bitrate_err: f64,
     /// True freeze windows in this scenario.
     pub gt_freeze_windows: usize,
 }
@@ -448,11 +464,17 @@ pub struct InferReport {
     pub scenarios: Vec<ScenarioScore>,
 }
 
-/// Score the suite with the heuristic and `model` estimators.
-pub fn build_report(per_scenario_rows: &[Vec<WindowRow>], model: &LinearModel) -> InferReport {
+/// Score the suite with the heuristic, calibrated-linear, and GBT
+/// estimators.
+pub fn build_report(
+    per_scenario_rows: &[Vec<WindowRow>],
+    model: &LinearModel,
+    gbt: &GbtModel,
+) -> InferReport {
     let all: Vec<WindowRow> = per_scenario_rows.iter().flatten().cloned().collect();
     let heuristic = score(&all, &HeuristicEstimator);
     let calibrated = score(&all, model);
+    let boosted = score(&all, gbt);
     let scenarios = per_scenario_rows
         .iter()
         .filter(|rows| !rows.is_empty())
@@ -461,6 +483,7 @@ pub fn build_report(per_scenario_rows: &[Vec<WindowRow>], model: &LinearModel) -
             windows: rows.len(),
             heuristic_bitrate_err: score(rows, &HeuristicEstimator).bitrate.median_rel_err,
             calibrated_bitrate_err: score(rows, model).bitrate.median_rel_err,
+            gbt_bitrate_err: score(rows, gbt).bitrate.median_rel_err,
             gt_freeze_windows: rows
                 .iter()
                 .filter(|r| r.gt_freeze_count.unwrap_or(0) > 0)
@@ -469,7 +492,7 @@ pub fn build_report(per_scenario_rows: &[Vec<WindowRow>], model: &LinearModel) -
         .collect();
     InferReport {
         windows: all.len(),
-        estimators: vec![heuristic, calibrated],
+        estimators: vec![heuristic, calibrated, boosted],
         scenarios,
     }
 }
@@ -507,6 +530,40 @@ pub fn fit_model(rows: &[WindowRow]) -> Option<LinearModel> {
     LinearModel::fit(&bitrate, &fps, 1e-6)
 }
 
+/// Fit a GBT model from joined rows with the same target/weight layout
+/// as [`fit_model`] (bitrate on both taps, FPS on the recv tap, `1/y²`
+/// relative-error weights), over the richer [`gbt_feature_vector`].
+/// Deterministic: rows are consumed in order and the trainer has no
+/// randomness, so refitting on the same campaign reproduces the frozen
+/// artifact byte for byte.
+pub fn fit_gbt(rows: &[WindowRow]) -> Option<GbtModel> {
+    let rel_weight = |gt: f64, floor: f64| 1.0 / (gt.max(floor) * gt.max(floor));
+    let mut bitrate: Vec<([f64; NUM_GBT_FEATURES], f64, f64)> = Vec::new();
+    let mut fps: Vec<([f64; NUM_GBT_FEATURES], f64, f64)> = Vec::new();
+    for row in rows {
+        if let Some(gt) = row.gt_send_mbps {
+            if gt >= MIN_GT_MBPS {
+                bitrate.push((gbt_feature_vector(&row.send), gt, rel_weight(gt, 0.1)));
+            }
+        }
+        if let Some(gt) = row.gt_recv_mbps {
+            if gt >= MIN_GT_MBPS {
+                bitrate.push((gbt_feature_vector(&row.recv), gt, rel_weight(gt, 0.1)));
+            }
+        }
+        if let Some(gt) = row.gt_frames {
+            if gt >= MIN_GT_FRAMES {
+                fps.push((
+                    gbt_feature_vector(&row.recv),
+                    gt as f64,
+                    rel_weight(gt as f64, 1.0),
+                ));
+            }
+        }
+    }
+    GbtModel::fit(&bitrate, &fps, &GbtParams::default())
+}
+
 /// Render the report as deterministic text.
 pub fn render_infer_report(report: &InferReport) -> String {
     let mut s = String::new();
@@ -540,11 +597,13 @@ pub fn render_infer_report(report: &InferReport) -> String {
     s.push_str("per scenario (median pooled bitrate error):\n");
     for sc in &report.scenarios {
         s.push_str(&format!(
-            "  {:<22} windows={:<4} heuristic {:>6.1}%  calibrated {:>6.1}%  freeze-windows={}\n",
+            "  {:<22} windows={:<4} heuristic {:>6.1}%  calibrated {:>6.1}%  gbt {:>6.1}%  \
+             freeze-windows={}\n",
             sc.scenario,
             sc.windows,
             sc.heuristic_bitrate_err * 100.0,
             sc.calibrated_bitrate_err * 100.0,
+            sc.gbt_bitrate_err * 100.0,
             sc.gt_freeze_windows
         ));
     }
@@ -614,6 +673,7 @@ pub fn infer_report_json(report: &InferReport) -> String {
                         "calibrated_bitrate_err".to_string(),
                         Value::F64(s.calibrated_bitrate_err),
                     );
+                    o.insert("gbt_bitrate_err".to_string(), Value::F64(s.gbt_bitrate_err));
                     o.insert(
                         "gt_freeze_windows".to_string(),
                         Value::U64(s.gt_freeze_windows as u64),
@@ -744,8 +804,9 @@ mod tests {
         let many = infer_suite(&scenarios, 4);
         assert_eq!(one, many);
         let model = LinearModel::builtin();
-        let r1 = build_report(&one, &model);
-        let r2 = build_report(&many, &model);
+        let gbt = GbtModel::builtin();
+        let r1 = build_report(&one, &model, &gbt);
+        let r2 = build_report(&many, &model, &gbt);
         assert_eq!(infer_report_json(&r1), infer_report_json(&r2));
         assert_eq!(render_infer_report(&r1), render_infer_report(&r2));
     }

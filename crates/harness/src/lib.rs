@@ -35,8 +35,10 @@ pub use fingerprint::{
     DEFAULT_MIN_ID_ACCURACY,
 };
 pub use infer::{
-    build_report, fit_model, infer_report_json, infer_suite, join_windows, render_infer_report,
-    run_spec_infer, run_spec_infer_metered, score, taps_for, InferOutcome, InferReport, WindowRow,
+    build_report, fit_gbt, fit_model, infer_report_json, infer_suite, join_windows, model_registry,
+    render_infer_report, run_spec_infer, run_spec_infer_metered, score, taps_for, InferOutcome,
+    InferReport, WindowRow, DEFAULT_MAX_BITRATE_ERR, DEFAULT_MAX_BITRATE_ERR_GBT,
+    DEFAULT_MIN_FREEZE_RECALL,
 };
 pub use observe::{
     gate_failures, observe_report_json, observe_suite, pinned_disruption_suite,

@@ -85,7 +85,20 @@ pub struct TapSpec {
     pub vantage: Vantage,
 }
 
+/// Number of preceding windows the rolling-context features average over.
+pub const ROLL_WINDOWS: usize = 3;
+
 /// Features of one `[w, w+1)`-second window of a tap.
+///
+/// Beyond the first-order counts, each window carries second-order
+/// in-window structure (video inter-arrival moments, payload-size
+/// moments, the longest full-packet burst) and *lagged context* — the
+/// previous window's rate and full-packet share plus a
+/// [`ROLL_WINDOWS`]-window rolling mean of both. The lag fields are what
+/// let a per-window estimator see short-horizon dynamics (FEC
+/// elevation, ramp-ups) without breaking the pure-function-of-features
+/// [`crate::Estimator`] contract; they are filled by the [`Extractor`]
+/// from sealed history, so they stay identical online and offline.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct WindowFeatures {
     /// Window index: the window covers `[window, window+1)` seconds.
@@ -112,6 +125,28 @@ pub struct WindowFeatures {
     pub freeze_count: u64,
     /// Freeze time the replica accumulated in this window, seconds.
     pub freeze_time_s: f64,
+    /// Video-packet inter-arrival gaps attributed to this window (a gap
+    /// belongs to the window of its *later* packet).
+    pub iat_count: u64,
+    /// Sum of those gaps, seconds.
+    pub iat_sum_s: f64,
+    /// Sum of squared gaps, s² (second moment for the inter-arrival CV).
+    pub iat_sq_sum_s: f64,
+    /// Sum of squared video payload sizes, bytes² (second moment of the
+    /// size-class histogram).
+    pub video_payload_sq: f64,
+    /// Longest run of consecutive full-sized video packets observed in
+    /// this window (burst structure; FEC blocks extend media bursts).
+    pub burst_max: u64,
+    /// Previous window's video payload rate, Mbps (0 for window 0).
+    pub lag1_video_mbps: f64,
+    /// Previous window's full-packet fraction (0 for window 0).
+    pub lag1_full_fraction: f64,
+    /// Mean video rate over up to [`ROLL_WINDOWS`] preceding windows, Mbps.
+    pub roll_video_mbps: f64,
+    /// Mean full-packet fraction over up to [`ROLL_WINDOWS`] preceding
+    /// windows.
+    pub roll_full_fraction: f64,
 }
 
 impl WindowFeatures {
@@ -144,6 +179,44 @@ impl WindowFeatures {
         } else {
             self.video_payload_bytes as f64 / self.video_pkts as f64
         }
+    }
+
+    /// Mean video inter-arrival gap, seconds (0 without gaps).
+    pub fn iat_mean_s(&self) -> f64 {
+        if self.iat_count == 0 {
+            0.0
+        } else {
+            self.iat_sum_s / self.iat_count as f64
+        }
+    }
+
+    /// Coefficient of variation (std/mean) of the video inter-arrival
+    /// gaps in this window; 0 with fewer than two gaps. Steady paced
+    /// media is low-CV, FEC-interleaved or bursty traffic is high-CV.
+    pub fn iat_cv(&self) -> f64 {
+        if self.iat_count < 2 {
+            return 0.0;
+        }
+        let mean = self.iat_sum_s / self.iat_count as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = (self.iat_sq_sum_s / self.iat_count as f64 - mean * mean).max(0.0);
+        var.sqrt() / mean
+    }
+
+    /// Standard deviation of the video payload size, bytes (0 without
+    /// video packets). A second moment of the size-class histogram:
+    /// all-full-sized FEC blocks push it down relative to media frames
+    /// with partial tails.
+    pub fn video_payload_std(&self) -> f64 {
+        if self.video_pkts == 0 {
+            return 0.0;
+        }
+        let n = self.video_pkts as f64;
+        let mean = self.video_payload_bytes as f64 / n;
+        let var = (self.video_payload_sq / n - mean * mean).max(0.0);
+        var.sqrt()
     }
 }
 
@@ -197,6 +270,13 @@ pub struct Extractor {
     // Frame segmentation.
     pending_payload: u64,
     last_video_s: Option<f64>,
+    // Burst structure: current run of consecutive full-sized video
+    // packets (runs may span window boundaries; each window records the
+    // longest run value observed while it was current).
+    burst_run: u64,
+    // Rolling (video_mbps, full_fraction) of the last ROLL_WINDOWS
+    // sealed windows, oldest first; feeds the lag/roll context fields.
+    hist: std::collections::VecDeque<(f64, f64)>,
     // Inferred decode timeline.
     damaged: bool,
     frame_size_ema: f64,
@@ -217,6 +297,8 @@ impl Extractor {
             started: false,
             pending_payload: 0,
             last_video_s: None,
+            burst_run: 0,
+            hist: std::collections::VecDeque::new(),
             damaged: false,
             frame_size_ema: 0.0,
             freeze: FreezeReplica::new(),
@@ -238,21 +320,58 @@ impl Extractor {
         self.done
     }
 
-    /// Seal windows before `w` and make `w` current.
+    /// A fresh window `w` with its lag/roll context filled from the
+    /// sealed-window history (zeros when no window has sealed yet).
+    fn new_window(&self, w: u64) -> WindowFeatures {
+        let mut f = WindowFeatures::empty(w);
+        if let Some(&(mbps, ff)) = self.hist.back() {
+            f.lag1_video_mbps = mbps;
+            f.lag1_full_fraction = ff;
+        }
+        if !self.hist.is_empty() {
+            let n = self.hist.len() as f64;
+            f.roll_video_mbps = self.hist.iter().map(|h| h.0).sum::<f64>() / n;
+            f.roll_full_fraction = self.hist.iter().map(|h| h.1).sum::<f64>() / n;
+        }
+        f
+    }
+
+    /// Record a sealed window in the rolling-context history.
+    fn push_history(&mut self, f: &WindowFeatures) {
+        if self.hist.len() == ROLL_WINDOWS {
+            self.hist.pop_front();
+        }
+        self.hist.push_back((f.video_mbps(), f.full_fraction()));
+    }
+
+    /// Seal windows before `w` and make `w` current. Every sealed window
+    /// (including empty gap windows) enters the lag history, so the
+    /// context fields decay through silence exactly as an online
+    /// observer would see it.
     fn roll_to(&mut self, w: u64) {
         if !self.started {
             self.started = true;
-            self.done.extend((0..w).map(WindowFeatures::empty));
-            self.cur = WindowFeatures::empty(w);
+            for i in 0..w {
+                let f = self.new_window(i);
+                self.push_history(&f);
+                self.done.push(f);
+            }
+            self.cur = self.new_window(w);
             return;
         }
         let cw = self.cur.window;
         if w <= cw {
             return;
         }
-        let sealed = std::mem::replace(&mut self.cur, WindowFeatures::empty(w));
+        let sealed = std::mem::replace(&mut self.cur, WindowFeatures::empty(0));
+        self.push_history(&sealed);
         self.done.push(sealed);
-        self.done.extend((cw + 1..w).map(WindowFeatures::empty));
+        for i in cw + 1..w {
+            let f = self.new_window(i);
+            self.push_history(&f);
+            self.done.push(f);
+        }
+        self.cur = self.new_window(w);
     }
 
     /// One packet crossed the tap at `at` with `bytes` on the wire.
@@ -272,14 +391,29 @@ impl Extractor {
         self.roll_to(window_of(at));
         self.cur.wire_bytes += bytes;
         if bytes >= VIDEO_MIN_WIRE {
+            // Inter-arrival gap vs the previous video packet, attributed
+            // to the window of the later packet.
+            if let Some(last) = self.last_video_s {
+                let gap = (now_s - last).max(0.0);
+                self.cur.iat_count += 1;
+                self.cur.iat_sum_s += gap;
+                self.cur.iat_sq_sum_s += gap * gap;
+            }
+            let payload = bytes - HEADER_BYTES;
             self.cur.video_pkts += 1;
-            self.cur.video_payload_bytes += bytes - HEADER_BYTES;
-            self.pending_payload += bytes - HEADER_BYTES;
+            self.cur.video_payload_bytes += payload;
+            self.cur.video_payload_sq += (payload as f64) * (payload as f64);
+            self.pending_payload += payload;
             self.last_video_s = Some(now_s);
             if bytes >= FULL_WIRE {
                 self.cur.full_pkts += 1;
+                self.burst_run += 1;
+                self.cur.burst_max = self.cur.burst_max.max(self.burst_run);
             } else {
-                // Partial tail: the frame's last packet.
+                // Partial tail: the frame's last packet, and the end of
+                // any full-packet burst (audio interleaving does not
+                // break a burst; a frame boundary does).
+                self.burst_run = 0;
                 self.complete_frame(now_s);
             }
         } else {
@@ -575,6 +709,56 @@ mod tests {
             "damaged frames excluded from the decode timeline"
         );
         assert!(w.iter().map(|w| w.frames).sum::<u64>() > 40);
+    }
+
+    #[test]
+    fn second_order_accumulators_track_iat_size_and_bursts() {
+        let mut ex = Extractor::new(recv_tap());
+        for i in 0..30u64 {
+            frame(&mut ex, 33 * i, 2);
+        }
+        let w = ex.finish(SimTime::from_secs(1));
+        let f = &w[0];
+        // 90 video packets → 89 inter-arrival gaps, all in window 0.
+        assert_eq!(f.iat_count, 89);
+        assert!(f.iat_mean_s() > 0.0);
+        assert!(f.iat_cv() > 0.0, "back-to-back vs 33 ms gaps vary");
+        // Each frame is 2 full packets + 1 partial tail: the longest
+        // full-packet run is 2 (the tail resets it).
+        assert_eq!(f.burst_max, 2);
+        // Payload sizes are bimodal (full vs tail) → std well above 0.
+        assert!(f.video_payload_std() > 100.0, "{}", f.video_payload_std());
+        // And the exact second moment matches the hand sum.
+        let full_p = (FULL_WIRE - HEADER_BYTES) as f64;
+        let tail_p = (500 - HEADER_BYTES) as f64;
+        let expect = 60.0 * full_p * full_p + 30.0 * tail_p * tail_p;
+        assert!((f.video_payload_sq - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lag_and_rolling_context_reflect_sealed_history() {
+        let mut ex = Extractor::new(recv_tap());
+        // Window 0: busy. Window 1: silent. Window 2: one frame.
+        for i in 0..30u64 {
+            frame(&mut ex, 33 * i, 2);
+        }
+        frame(&mut ex, 2500, 2);
+        let w = ex.finish(SimTime::from_secs(4));
+        assert_eq!(w.len(), 4);
+        let w0 = w[0].video_mbps();
+        assert!(w0 > 0.0);
+        assert_eq!(w[0].lag1_video_mbps, 0.0, "no history before window 0");
+        assert_eq!(w[0].roll_full_fraction, 0.0);
+        assert!((w[1].lag1_video_mbps - w0).abs() < 1e-12);
+        assert!((w[1].roll_video_mbps - w0).abs() < 1e-12);
+        // Window 2's context: lag1 sees the silent window 1, the rolling
+        // mean averages windows {0, 1}.
+        assert_eq!(w[2].lag1_video_mbps, 0.0);
+        assert!((w[2].roll_video_mbps - w0 / 2.0).abs() < 1e-12);
+        // Window 3 averages windows {0, 1, 2}.
+        let w2 = w[2].video_mbps();
+        assert!((w[3].roll_video_mbps - (w0 + w2) / 3.0).abs() < 1e-12);
+        assert!((w[3].lag1_video_mbps - w2).abs() < 1e-12);
     }
 
     #[test]

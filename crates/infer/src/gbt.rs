@@ -1,0 +1,695 @@
+//! Gradient-boosted regression trees over the richer window features.
+//!
+//! The linear model ([`crate::model`]) spreads one global FEC discount
+//! across every window: it helps Zoom but taxes the FEC-light senders,
+//! because a *linear* function of per-window features cannot express
+//! "discount only when the traffic looks FEC-elevated". Regression trees
+//! can — a split on `full_fraction` (or on the rolling context fields)
+//! partitions windows into FEC regimes and fits each side separately,
+//! which is exactly the tree-ensemble approach of Sharma et al.
+//! ("Estimating WebRTC Video QoE Metrics Without Using Application
+//! Headers") applied to this simulator's passive taps.
+//!
+//! Everything here is dependency-free and deterministic: least-squares
+//! boosting with greedy depth-limited splits, candidate thresholds at
+//! sorted-value midpoints, `total_cmp` ordering with index tie-breaks,
+//! and no randomness anywhere — refitting on the same rows reproduces
+//! the committed artifact byte for byte. Models freeze to a
+//! schema-versioned JSON artifact ([`GBT_MODEL_SCHEMA`]) committed at
+//! `crates/infer/models/gbt-v1.json` and loaded through the
+//! [`crate::ModelRegistry`].
+
+use serde_json::{Map, Value};
+
+use crate::estimator::{Estimator, WindowEstimate};
+use crate::features::WindowFeatures;
+
+/// Schema tag of the GBT model artifact.
+pub const GBT_MODEL_SCHEMA: &str = "vcabench-infer-gbt/v1";
+
+/// Number of input features the GBT sees.
+pub const NUM_GBT_FEATURES: usize = 17;
+
+/// Feature names, in the order [`gbt_feature_vector`] produces them.
+/// Part of the artifact schema: a loaded model must list exactly these.
+pub const GBT_FEATURE_NAMES: [&str; NUM_GBT_FEATURES] = [
+    "video_mbps",
+    "video_full_mbps",
+    "full_fraction",
+    "frames",
+    "frames_decodable",
+    "video_pkts",
+    "small_pkts",
+    "mean_video_kb",
+    "video_std_kb",
+    "iat_mean_ms",
+    "iat_cv",
+    "burst_max",
+    "pkts_per_frame",
+    "lag1_video_mbps",
+    "lag1_full_fraction",
+    "roll_video_mbps",
+    "roll_full_fraction",
+];
+
+/// The GBT input vector for one window: the linear model's six features
+/// plus the second-order in-window structure and the lagged/rolling
+/// context (see [`WindowFeatures`]).
+pub fn gbt_feature_vector(w: &WindowFeatures) -> [f64; NUM_GBT_FEATURES] {
+    let video_mbps = w.video_mbps();
+    let pkts_per_frame = if w.frames == 0 {
+        0.0
+    } else {
+        w.video_pkts as f64 / w.frames as f64
+    };
+    [
+        video_mbps,
+        video_mbps * w.full_fraction(),
+        w.full_fraction(),
+        w.frames as f64,
+        w.frames_decodable as f64,
+        w.video_pkts as f64,
+        w.small_pkts as f64,
+        w.mean_video_payload() * 1e-3,
+        w.video_payload_std() * 1e-3,
+        w.iat_mean_s() * 1e3,
+        w.iat_cv(),
+        w.burst_max as f64,
+        pkts_per_frame,
+        w.lag1_video_mbps,
+        w.lag1_full_fraction,
+        w.roll_video_mbps,
+        w.roll_full_fraction,
+    ]
+}
+
+/// Boosting hyperparameters, recorded in the artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbtParams {
+    /// Boosting rounds per target.
+    pub trees: usize,
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Shrinkage applied to every leaf value at fit time.
+    pub learning_rate: f64,
+    /// Minimum training rows on each side of a split.
+    pub min_leaf: usize,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams {
+            trees: 60,
+            max_depth: 3,
+            learning_rate: 0.15,
+            min_leaf: 8,
+        }
+    }
+}
+
+/// One node of a flattened regression tree. Interior nodes route
+/// `x[feature] <= threshold` to `left`, else `right`; leaves carry the
+/// (already shrunk) output in `value` with `feature == -1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode {
+    /// Feature index to split on, or `-1` for a leaf.
+    pub feature: i64,
+    /// Split threshold (unused on leaves).
+    pub threshold: f64,
+    /// Child for `x[feature] <= threshold` (unused on leaves).
+    pub left: usize,
+    /// Child for `x[feature] > threshold` (unused on leaves).
+    pub right: usize,
+    /// Leaf output (unused on interior nodes).
+    pub value: f64,
+}
+
+/// A flattened regression tree; children always sit at higher indices
+/// than their parent, so traversal terminates by construction (and the
+/// artifact loader rejects anything else).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Nodes in preorder; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f64; NUM_GBT_FEATURES]) -> f64 {
+        let mut i = 0;
+        loop {
+            let n = &self.nodes[i];
+            if n.feature < 0 {
+                return n.value;
+            }
+            i = if x[n.feature as usize] <= n.threshold {
+                n.left
+            } else {
+                n.right
+            };
+        }
+    }
+}
+
+/// One boosted ensemble: `predict(x) = base + Σ tree(x)` (the learning
+/// rate is baked into the leaf values at fit time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbtEnsemble {
+    /// Weighted mean of the training target (the boosting start point).
+    pub base: f64,
+    /// Boosted trees, applied additively.
+    pub trees: Vec<Tree>,
+}
+
+impl GbtEnsemble {
+    /// Raw (unclamped) ensemble prediction.
+    pub fn predict(&self, x: &[f64; NUM_GBT_FEATURES]) -> f64 {
+        let mut y = self.base;
+        for t in &self.trees {
+            y += t.predict(x);
+        }
+        y
+    }
+}
+
+/// Gradient-boosted estimator: one ensemble per target metric,
+/// predictions clamped at zero. Freeze verdicts pass through from the
+/// replica detector, like every other estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbtModel {
+    /// Hyperparameters the ensembles were fit with.
+    pub params: GbtParams,
+    /// Media-bitrate ensemble (Mbps).
+    pub bitrate: GbtEnsemble,
+    /// Frame-rate ensemble (frames per window).
+    pub fps: GbtEnsemble,
+}
+
+/// Training rows: `(features, truth, weight)`, weights strictly positive.
+type Rows = [([f64; NUM_GBT_FEATURES], f64, f64)];
+
+impl GbtModel {
+    /// Fit both targets by least-squares gradient boosting. Like
+    /// [`crate::LinearModel::fit`], bitrate rows come from both taps and
+    /// FPS rows from the receive side only, with weights chosen by the
+    /// caller (the harness uses `1/truth²` for relative error).
+    /// Deterministic: fixed row order, `total_cmp` sorts, and index
+    /// tie-breaks — no RNG anywhere.
+    pub fn fit(bitrate_rows: &Rows, fps_rows: &Rows, params: &GbtParams) -> Option<GbtModel> {
+        Some(GbtModel {
+            params: params.clone(),
+            bitrate: fit_ensemble(bitrate_rows, params)?,
+            fps: fit_ensemble(fps_rows, params)?,
+        })
+    }
+
+    /// The committed model artifact, compiled into the crate (resolved
+    /// through the [`crate::ModelRegistry`]).
+    pub fn builtin() -> GbtModel {
+        crate::ModelRegistry::builtin()
+            .gbt("gbt-v1")
+            .expect("committed GBT artifact is valid")
+    }
+
+    /// Serialize to the versioned artifact format (pretty JSON, fixed
+    /// key order — artifacts are diffed and committed). Nodes flatten to
+    /// `[feature, threshold, left, right, value]` arrays.
+    pub fn to_json(&self) -> String {
+        let mut m = Map::new();
+        m.insert(
+            "schema".to_string(),
+            Value::String(GBT_MODEL_SCHEMA.to_string()),
+        );
+        m.insert(
+            "features".to_string(),
+            Value::Array(
+                GBT_FEATURE_NAMES
+                    .iter()
+                    .map(|n| Value::String(n.to_string()))
+                    .collect(),
+            ),
+        );
+        let mut p = Map::new();
+        p.insert("trees".to_string(), Value::U64(self.params.trees as u64));
+        p.insert(
+            "max_depth".to_string(),
+            Value::U64(self.params.max_depth as u64),
+        );
+        p.insert(
+            "learning_rate".to_string(),
+            Value::F64(self.params.learning_rate),
+        );
+        p.insert(
+            "min_leaf".to_string(),
+            Value::U64(self.params.min_leaf as u64),
+        );
+        m.insert("params".to_string(), Value::Object(p));
+        let ensemble = |e: &GbtEnsemble| {
+            let mut o = Map::new();
+            o.insert("base".to_string(), Value::F64(e.base));
+            o.insert(
+                "trees".to_string(),
+                Value::Array(
+                    e.trees
+                        .iter()
+                        .map(|t| {
+                            Value::Array(
+                                t.nodes
+                                    .iter()
+                                    .map(|n| {
+                                        Value::Array(vec![
+                                            Value::I64(n.feature),
+                                            Value::F64(n.threshold),
+                                            Value::U64(n.left as u64),
+                                            Value::U64(n.right as u64),
+                                            Value::F64(n.value),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            );
+            Value::Object(o)
+        };
+        m.insert("bitrate".to_string(), ensemble(&self.bitrate));
+        m.insert("fps".to_string(), ensemble(&self.fps));
+        let mut s = serde_json::to_string_pretty(&Value::Object(m)).expect("serializable model");
+        s.push('\n');
+        s
+    }
+
+    /// Parse and validate an artifact: schema tag, exact feature list,
+    /// node shape, and child indices that strictly increase (so every
+    /// traversal terminates).
+    pub fn from_json(text: &str) -> Result<GbtModel, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("gbt artifact: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("gbt artifact: missing schema tag")?;
+        if schema != GBT_MODEL_SCHEMA {
+            return Err(format!(
+                "gbt artifact: schema `{schema}`, expected `{GBT_MODEL_SCHEMA}`"
+            ));
+        }
+        let features: Vec<&str> = v
+            .get("features")
+            .and_then(|f| f.as_array())
+            .map(|a| a.iter().filter_map(|x| x.as_str()).collect())
+            .ok_or("gbt artifact: missing features list")?;
+        if features != GBT_FEATURE_NAMES {
+            return Err(format!(
+                "gbt artifact: feature list {features:?} does not match {GBT_FEATURE_NAMES:?}"
+            ));
+        }
+        let p = v
+            .get("params")
+            .filter(|p| p.as_object().is_some())
+            .ok_or("gbt artifact: missing `params` object")?;
+        let pu = |key: &str| -> Result<usize, String> {
+            p.get(key)
+                .and_then(|x| x.as_u64())
+                .map(|x| x as usize)
+                .ok_or(format!("gbt artifact: missing `params.{key}`"))
+        };
+        let params = GbtParams {
+            trees: pu("trees")?,
+            max_depth: pu("max_depth")?,
+            learning_rate: p
+                .get("learning_rate")
+                .and_then(|x| x.as_f64())
+                .ok_or("gbt artifact: missing `params.learning_rate`")?,
+            min_leaf: pu("min_leaf")?,
+        };
+        let ensemble = |key: &str| -> Result<GbtEnsemble, String> {
+            let o = v
+                .get(key)
+                .filter(|e| e.as_object().is_some())
+                .ok_or(format!("gbt artifact: missing `{key}` ensemble"))?;
+            let base = o
+                .get("base")
+                .and_then(|b| b.as_f64())
+                .ok_or(format!("gbt artifact: `{key}.base` is not a number"))?;
+            let trees_v = o
+                .get("trees")
+                .and_then(|t| t.as_array())
+                .ok_or(format!("gbt artifact: missing `{key}.trees`"))?;
+            let mut trees = Vec::with_capacity(trees_v.len());
+            for (ti, tv) in trees_v.iter().enumerate() {
+                let nodes_v = tv
+                    .as_array()
+                    .ok_or(format!("gbt artifact: `{key}.trees[{ti}]` is not an array"))?;
+                if nodes_v.is_empty() {
+                    return Err(format!("gbt artifact: `{key}.trees[{ti}]` is empty"));
+                }
+                let mut nodes = Vec::with_capacity(nodes_v.len());
+                for (ni, nv) in nodes_v.iter().enumerate() {
+                    let at = format!("{key}.trees[{ti}][{ni}]");
+                    let a = nv
+                        .as_array()
+                        .filter(|a| a.len() == 5)
+                        .ok_or(format!("gbt artifact: `{at}` is not a 5-element node"))?;
+                    let num = |j: usize| -> Result<f64, String> {
+                        a[j].as_f64()
+                            .ok_or(format!("gbt artifact: `{at}[{j}]` is not a number"))
+                    };
+                    let feature = num(0)?;
+                    if feature.fract() != 0.0 {
+                        return Err(format!("gbt artifact: `{at}[0]` is not an integer"));
+                    }
+                    let feature = feature as i64;
+                    let (left, right) = (num(2)? as usize, num(3)? as usize);
+                    if feature >= 0 {
+                        if feature as usize >= NUM_GBT_FEATURES {
+                            return Err(format!(
+                                "gbt artifact: `{at}` splits on feature {feature}, \
+                                 only {NUM_GBT_FEATURES} exist"
+                            ));
+                        }
+                        if left <= ni
+                            || right <= ni
+                            || left >= nodes_v.len()
+                            || right >= nodes_v.len()
+                        {
+                            return Err(format!(
+                                "gbt artifact: `{at}` children ({left}, {right}) must lie \
+                                 strictly after the node within the tree"
+                            ));
+                        }
+                    } else if feature != -1 {
+                        return Err(format!(
+                            "gbt artifact: `{at}` feature {feature} (leaves use -1)"
+                        ));
+                    }
+                    nodes.push(TreeNode {
+                        feature,
+                        threshold: num(1)?,
+                        left,
+                        right,
+                        value: num(4)?,
+                    });
+                }
+                trees.push(Tree { nodes });
+            }
+            Ok(GbtEnsemble { base, trees })
+        };
+        Ok(GbtModel {
+            params,
+            bitrate: ensemble("bitrate")?,
+            fps: ensemble("fps")?,
+        })
+    }
+}
+
+impl Estimator for GbtModel {
+    fn name(&self) -> &'static str {
+        "gbt"
+    }
+
+    fn estimate(&self, w: &WindowFeatures) -> WindowEstimate {
+        let x = gbt_feature_vector(w);
+        WindowEstimate {
+            window: w.window,
+            media_mbps: self.bitrate.predict(&x).max(0.0),
+            fps: self.fps.predict(&x).max(0.0),
+            freeze_count: w.freeze_count,
+            freeze_time_s: w.freeze_time_s,
+        }
+    }
+}
+
+/// Fit one boosted ensemble on `(x, y, weight)` rows.
+fn fit_ensemble(rows: &Rows, params: &GbtParams) -> Option<GbtEnsemble> {
+    if rows.is_empty() {
+        return None;
+    }
+    let total_w: f64 = rows.iter().map(|r| r.2).sum();
+    if total_w <= 0.0 {
+        return None;
+    }
+    let base = rows.iter().map(|r| r.1 * r.2).sum::<f64>() / total_w;
+    let mut residuals: Vec<f64> = rows.iter().map(|r| r.1 - base).collect();
+    let all: Vec<usize> = (0..rows.len()).collect();
+    let mut trees = Vec::with_capacity(params.trees);
+    for _ in 0..params.trees {
+        let mut b = Builder {
+            rows,
+            residuals: &residuals,
+            params,
+            nodes: Vec::new(),
+        };
+        b.build(&all, 0);
+        let tree = Tree { nodes: b.nodes };
+        for (i, r) in residuals.iter_mut().enumerate() {
+            *r -= tree.predict(&rows[i].0);
+        }
+        trees.push(tree);
+    }
+    Some(GbtEnsemble { base, trees })
+}
+
+/// Recursive greedy tree builder over row indices.
+struct Builder<'a> {
+    rows: &'a Rows,
+    residuals: &'a [f64],
+    params: &'a GbtParams,
+    nodes: Vec<TreeNode>,
+}
+
+impl Builder<'_> {
+    /// Build the subtree for `idx`, returning its node index (preorder:
+    /// a node precedes both children).
+    fn build(&mut self, idx: &[usize], depth: usize) -> usize {
+        if depth < self.params.max_depth && idx.len() >= 2 * self.params.min_leaf {
+            if let Some((feature, threshold)) = self.best_split(idx) {
+                let me = self.nodes.len();
+                self.nodes.push(TreeNode {
+                    feature: feature as i64,
+                    threshold,
+                    left: 0,
+                    right: 0,
+                    value: 0.0,
+                });
+                // Partition preserving row order (determinism).
+                let (mut li, mut ri) = (Vec::new(), Vec::new());
+                for &i in idx {
+                    if self.rows[i].0[feature] <= threshold {
+                        li.push(i);
+                    } else {
+                        ri.push(i);
+                    }
+                }
+                let l = self.build(&li, depth + 1);
+                let r = self.build(&ri, depth + 1);
+                self.nodes[me].left = l;
+                self.nodes[me].right = r;
+                return me;
+            }
+        }
+        let mut sw = 0.0;
+        let mut swr = 0.0;
+        for &i in idx {
+            sw += self.rows[i].2;
+            swr += self.rows[i].2 * self.residuals[i];
+        }
+        let me = self.nodes.len();
+        self.nodes.push(TreeNode {
+            feature: -1,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value: if sw > 0.0 {
+                self.params.learning_rate * swr / sw
+            } else {
+                0.0
+            },
+        });
+        me
+    }
+
+    /// The split of `idx` with the largest weighted-SSE reduction, or
+    /// `None` when no split improves on the leaf. Candidates are
+    /// midpoints between distinct consecutive sorted values; ties keep
+    /// the earliest feature and lowest threshold (strict `>` on gain).
+    fn best_split(&self, idx: &[usize]) -> Option<(usize, f64)> {
+        let min_leaf = self.params.min_leaf;
+        let mut total_w = 0.0;
+        let mut total_wr = 0.0;
+        for &i in idx {
+            total_w += self.rows[i].2;
+            total_wr += self.rows[i].2 * self.residuals[i];
+        }
+        let no_split = total_wr * total_wr / total_w;
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+        for feature in 0..NUM_GBT_FEATURES {
+            order.clear();
+            order.extend_from_slice(idx);
+            order.sort_by(|&a, &b| {
+                self.rows[a].0[feature]
+                    .total_cmp(&self.rows[b].0[feature])
+                    .then(a.cmp(&b))
+            });
+            let mut lw = 0.0;
+            let mut lwr = 0.0;
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                lw += self.rows[i].2;
+                lwr += self.rows[i].2 * self.residuals[i];
+                let (xa, xb) = (self.rows[i].0[feature], self.rows[order[k + 1]].0[feature]);
+                if xa == xb || k + 1 < min_leaf || order.len() - k - 1 < min_leaf {
+                    continue;
+                }
+                let (rw, rwr) = (total_w - lw, total_wr - lwr);
+                if lw <= 0.0 || rw <= 0.0 {
+                    continue;
+                }
+                let gain = lwr * lwr / lw + rwr * rwr / rw - no_split;
+                if gain > best.map_or(1e-12, |b| b.0) {
+                    best = Some((gain, feature, 0.5 * (xa + xb)));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic windows spanning FEC-free and FEC-heavy regimes.
+    fn synthetic_rows() -> Vec<([f64; NUM_GBT_FEATURES], f64, f64)> {
+        let mut rows = Vec::new();
+        for i in 1..=60u64 {
+            // FEC-free: partial tails every frame, media == payload.
+            let mut w = WindowFeatures {
+                window: i,
+                video_payload_bytes: 20_000 * i,
+                video_pkts: 30 + i,
+                full_pkts: (30 + i) * 3 / 4,
+                small_pkts: 50,
+                frames: 30,
+                frames_decodable: 30,
+                ..WindowFeatures::default()
+            };
+            // Relative-error weighting (1/y²), like the harness fit.
+            let x = gbt_feature_vector(&w);
+            let y = w.video_mbps();
+            rows.push((x, y, 1.0 / (y * y)));
+            // FEC-heavy: all packets full-sized, media is 60% of payload.
+            w.full_pkts = w.video_pkts;
+            w.window += 100;
+            let x = gbt_feature_vector(&w);
+            let y = 0.6 * w.video_mbps();
+            rows.push((x, y, 1.0 / (y * y)));
+        }
+        rows
+    }
+
+    #[test]
+    fn fit_learns_a_regime_dependent_discount_no_linear_model_can() {
+        let rows = synthetic_rows();
+        let fps: Vec<_> = rows.iter().map(|(x, _, w)| (*x, 30.0, *w)).collect();
+        let m = GbtModel::fit(&rows, &fps, &GbtParams::default()).expect("fit");
+        let mut rels: Vec<f64> = rows
+            .iter()
+            .map(|(x, y, _)| (m.bitrate.predict(x).max(0.0) - y).abs() / y)
+            .collect();
+        rels.sort_by(f64::total_cmp);
+        let median = rels[rels.len() / 2];
+        assert!(median < 0.05, "median relative error {median:.3}");
+        // The regime separation no linear model can express: mid-range
+        // FEC-heavy windows are discounted to ~60% of the payload rate,
+        // while FEC-free windows at the same payload rate are not.
+        let (fec, free) = (&rows[61], &rows[60]); // i = 31, both regimes
+        let fec_ratio = m.bitrate.predict(&fec.0) / (fec.1 / 0.6);
+        let free_ratio = m.bitrate.predict(&free.0) / free.1;
+        assert!((fec_ratio - 0.6).abs() < 0.1, "fec ratio {fec_ratio:.3}");
+        assert!((free_ratio - 1.0).abs() < 0.1, "free ratio {free_ratio:.3}");
+        assert_eq!(m.name(), "gbt");
+    }
+
+    #[test]
+    fn fit_handles_degenerate_inputs() {
+        assert!(GbtModel::fit(&[], &[], &GbtParams::default()).is_none());
+        // Constant rows: no split ever clears the gain bar, every tree
+        // is a single zero-valued leaf, prediction is the base.
+        let w = WindowFeatures {
+            video_payload_bytes: 100_000,
+            video_pkts: 90,
+            full_pkts: 60,
+            frames: 30,
+            frames_decodable: 30,
+            ..WindowFeatures::default()
+        };
+        let x = gbt_feature_vector(&w);
+        let rows = vec![(x, 0.8, 1.0); 5];
+        let m = GbtModel::fit(&rows, &[(x, 30.0, 1.0)], &GbtParams::default()).expect("fit");
+        assert!((m.bitrate.predict(&x) - 0.8).abs() < 1e-9);
+        assert!((m.fps.predict(&x) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn artifact_round_trips_with_identical_predictions() {
+        let rows = synthetic_rows();
+        let fps: Vec<_> = rows.iter().map(|(x, _, w)| (*x, 30.0, *w)).collect();
+        let m = GbtModel::fit(&rows, &fps, &GbtParams::default()).expect("fit");
+        let text = m.to_json();
+        assert!(text.contains("\"schema\": \"vcabench-infer-gbt/v1\""));
+        let back = GbtModel::from_json(&text).expect("round trip");
+        // Shortest-roundtrip float formatting makes the reload exact.
+        for (x, _, _) in &rows {
+            assert_eq!(m.bitrate.predict(x), back.bitrate.predict(x));
+            assert_eq!(m.fps.predict(x), back.fps.predict(x));
+        }
+        // And re-serializing reproduces the bytes.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn refit_is_byte_identical() {
+        let rows = synthetic_rows();
+        let fps: Vec<_> = rows.iter().map(|(x, _, w)| (*x, 30.0, *w)).collect();
+        let a = GbtModel::fit(&rows, &fps, &GbtParams::default()).expect("fit");
+        let b = GbtModel::fit(&rows, &fps, &GbtParams::default()).expect("fit");
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn artifact_rejects_bad_schemas_features_and_trees() {
+        let rows = synthetic_rows();
+        let fps: Vec<_> = rows.iter().map(|(x, _, w)| (*x, 30.0, *w)).collect();
+        let m = GbtModel::fit(&rows, &fps, &GbtParams::default()).expect("fit");
+        let text = m.to_json();
+        let bad = text.replace("gbt/v1", "gbt/v9");
+        assert!(GbtModel::from_json(&bad).unwrap_err().contains("schema"));
+        let bad = text.replace("iat_cv", "cv_iat");
+        assert!(GbtModel::from_json(&bad)
+            .unwrap_err()
+            .contains("feature list"));
+        assert!(GbtModel::from_json("{\"schema\":\"vcabench-infer-gbt/v1\"}").is_err());
+        // A cyclic tree (child index not past the parent) is rejected.
+        let cyclic = "{\"schema\":\"vcabench-infer-gbt/v1\",\
+             \"features\":[\"video_mbps\",\"video_full_mbps\",\"full_fraction\",\
+             \"frames\",\"frames_decodable\",\"video_pkts\",\"small_pkts\",\
+             \"mean_video_kb\",\"video_std_kb\",\"iat_mean_ms\",\"iat_cv\",\
+             \"burst_max\",\"pkts_per_frame\",\"lag1_video_mbps\",\
+             \"lag1_full_fraction\",\"roll_video_mbps\",\"roll_full_fraction\"],\
+             \"params\":{\"trees\":1,\"max_depth\":1,\"learning_rate\":0.1,\"min_leaf\":1},\
+             \"bitrate\":{\"base\":0,\"trees\":[[[0,1.0,0,0,0.0]]]},\
+             \"fps\":{\"base\":0,\"trees\":[]}}";
+        assert!(GbtModel::from_json(cyclic)
+            .unwrap_err()
+            .contains("strictly after"));
+    }
+
+    #[test]
+    fn builtin_artifact_loads_and_tracks_fec_free_traffic() {
+        let m = GbtModel::builtin();
+        assert!(!m.bitrate.trees.is_empty());
+        assert!(!m.fps.trees.is_empty());
+        assert!(m.params.trees >= m.bitrate.trees.len());
+    }
+}

@@ -15,12 +15,16 @@
 //!    implements [`vcabench_telemetry::Recorder`], so it runs online
 //!    during a simulation or offline over an exported `.events.jsonl`
 //!    trace with identical results.
-//! 2. **Estimators** ([`estimator`], [`model`]): the [`Estimator`] trait
-//!    maps window features to bitrate/FPS/freeze estimates. The
-//!    [`HeuristicEstimator`] is training-free; the [`LinearModel`] is a
-//!    ridge-calibrated correction (fit from campaign runs, frozen as a
-//!    versioned JSON artifact) that learns the FEC discount a passive
-//!    observer cannot see directly.
+//! 2. **Estimators** ([`estimator`], [`model`], [`gbt`]): the
+//!    [`Estimator`] trait maps window features to bitrate/FPS/freeze
+//!    estimates. The [`HeuristicEstimator`] is training-free; the
+//!    [`LinearModel`] is a ridge-calibrated correction that spreads one
+//!    global FEC discount; the [`GbtModel`] is a gradient-boosted tree
+//!    ensemble over richer features (inter-arrival CV, size moments,
+//!    burst structure, lagged context) that learns *regime-dependent*
+//!    discounts a linear function cannot express. Trained models freeze
+//!    as schema-versioned JSON artifacts resolved through the
+//!    [`ModelRegistry`] ([`registry`]).
 //! 3. **Validation** (in `vcabench-harness::infer` and `repro infer`):
 //!    campaigns run with taps attached, estimates are joined per window
 //!    against `stats_api` ground truth, and the accuracy report (error
@@ -28,14 +32,20 @@
 
 pub mod estimator;
 pub mod features;
+pub mod gbt;
 pub mod model;
+pub mod registry;
 
 pub use estimator::{Estimator, HeuristicEstimator, WindowEstimate};
 pub use features::{
     Extractor, TapBank, TapSpec, Vantage, WindowFeatures, AUDIO_WIRE, FULL_WIRE, HEADER_BYTES,
-    VIDEO_MIN_WIRE,
+    ROLL_WINDOWS, VIDEO_MIN_WIRE,
+};
+pub use gbt::{
+    gbt_feature_vector, GbtModel, GbtParams, GBT_FEATURE_NAMES, GBT_MODEL_SCHEMA, NUM_GBT_FEATURES,
 };
 pub use model::{
     feature_vector, KindModels, LinearModel, FEATURE_NAMES, KIND_MODEL_SCHEMA, MODEL_SCHEMA,
     NUM_FEATURES,
 };
+pub use registry::{ModelEntry, ModelRegistry, ESTIMATOR_NAMES};

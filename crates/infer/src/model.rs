@@ -93,9 +93,11 @@ impl LinearModel {
         })
     }
 
-    /// The committed model artifact, compiled into the crate.
+    /// The committed model artifact, compiled into the crate (resolved
+    /// through the [`crate::ModelRegistry`]).
     pub fn builtin() -> LinearModel {
-        LinearModel::from_json(include_str!("../models/linear-v1.json"))
+        crate::ModelRegistry::builtin()
+            .linear("linear-v1")
             .expect("committed model artifact is valid")
     }
 
@@ -203,9 +205,11 @@ impl KindModels {
         self.models.iter().find(|(n, _)| n == name).map(|(_, m)| m)
     }
 
-    /// The committed per-kind bundle, compiled into the crate.
+    /// The committed per-kind bundle, compiled into the crate (resolved
+    /// through the [`crate::ModelRegistry`]).
     pub fn builtin() -> KindModels {
-        KindModels::from_json(include_str!("../models/linear-kinds-v1.json"))
+        crate::ModelRegistry::builtin()
+            .kinds("linear-kinds-v1")
             .expect("committed per-kind model artifact is valid")
     }
 

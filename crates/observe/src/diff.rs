@@ -149,7 +149,7 @@ pub struct RunDiff {
     /// Total freeze-event delta.
     pub d_freezes_total: i64,
     /// The most diverging windows, ranked by magnitude (ties: earlier
-    /// window first); at most [`TOP_WINDOWS`], only windows that differ.
+    /// window first); at most `TOP_WINDOWS` (5), only windows that differ.
     pub top_windows: Vec<WindowDelta>,
     /// Anomaly keys more frequent in B than in A, sorted by key.
     pub appearing: Vec<AnomalyDelta>,

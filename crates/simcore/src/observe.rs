@@ -39,7 +39,7 @@ impl fmt::Display for Violation {
 }
 
 /// Accumulator shared by concrete audits: counts every check performed and
-/// stores the first [`MAX_STORED_VIOLATIONS`] violations.
+/// stores the first `MAX_STORED_VIOLATIONS` (32) violations.
 ///
 /// Tracking the check count matters as much as the violations themselves: a
 /// suite that reports "no violations" after performing zero checks proves
